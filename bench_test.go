@@ -1,0 +1,253 @@
+package sage_test
+
+// One benchmark per table/figure of the paper's evaluation (§5), at
+// reduced scale so `go test -bench=.` completes on a laptop, plus
+// ablation benches for the design choices DESIGN.md calls out and
+// micro-benchmarks for the hot substrate paths. cmd/sage-experiments
+// runs the same experiments at full scale.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/taxi"
+	"repro/internal/validation"
+	"repro/internal/workload"
+)
+
+// --- Table 2: validator violation rates -------------------------------
+
+func BenchmarkTab2ViolationRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Tab2(experiments.Tab2Options{
+			Runs:    4,
+			Stream:  80000,
+			Holdout: 20000,
+			Etas:    []float64{0.05},
+			Modes:   []validation.Mode{validation.ModeNoSLA, validation.ModeSage},
+			Seed:    uint64(100 + i),
+		})
+		experiments.PrintTab2(io.Discard, rows)
+	}
+}
+
+// --- Fig. 5: DP impact on model quality -------------------------------
+
+func BenchmarkFig5LearningCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig5(experiments.Fig5Options{
+			Sizes:   []int{10000, 40000},
+			Holdout: 20000,
+			Models:  []string{"Taxi-LR"},
+			Seed:    uint64(200 + i),
+		})
+		experiments.PrintFig5(io.Discard, pts)
+	}
+}
+
+// --- Fig. 6: SLAed validation sample complexity ------------------------
+
+func BenchmarkFig6SampleComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig6(experiments.Fig6Options{
+			MaxStream:        150000,
+			Models:           []string{"Taxi-LR"},
+			TargetsPerConfig: 1,
+			Modes:            []validation.Mode{validation.ModeNoSLA, validation.ModeSage},
+			Seed:             uint64(300 + i),
+		})
+		experiments.PrintFig6(io.Discard, pts)
+	}
+}
+
+// --- Fig. 7: block vs query composition --------------------------------
+
+func BenchmarkFig7BlockVsQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fig7Options{
+			Sizes:        []int{20000, 80000},
+			LRBlockSizes: []int{10000},
+			Targets:      []float64{0.007},
+			MaxStream:    160000,
+			Holdout:      20000,
+			SkipNN:       true,
+			Seed:         uint64(400 + i),
+		}
+		experiments.PrintFig7(io.Discard, experiments.Fig7Quality(o), experiments.Fig7Accept(o))
+	}
+}
+
+// --- Fig. 8: workload release times ------------------------------------
+
+func BenchmarkFig8ReleaseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(experiments.Fig8Options{
+			TaxiRates:   []float64{0.2, 0.6},
+			CriteoRates: []float64{0.3},
+			Hours:       500,
+			Seed:        uint64(500 + i),
+		})
+		experiments.PrintFig8(io.Discard, res)
+	}
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// BenchmarkAblationComposition compares how many ε=0.02 queries one
+// block affords under basic vs strong vs adaptive-strong composition —
+// the accounting-arithmetic choice of DESIGN.md §5.
+func BenchmarkAblationComposition(b *testing.B) {
+	arith := map[string]privacy.CompositionArithmetic{
+		"basic":           privacy.BasicArithmetic{},
+		"strong":          privacy.StrongArithmetic{DeltaSlack: 5e-7},
+		"adaptive-strong": privacy.AdaptiveStrongArithmetic{EpsG: 1, DeltaSlack: 5e-7},
+	}
+	for name, a := range arith {
+		b.Run(name, func(b *testing.B) {
+			queries := 0
+			for i := 0; i < b.N; i++ {
+				ac := core.NewAccessControl(core.Policy{
+					Global:     privacy.MustBudget(1, 1e-6),
+					Arithmetic: a,
+				})
+				ac.RegisterBlock(1)
+				small := privacy.MustBudget(0.02, 1e-9)
+				n := 0
+				for n < 5000 {
+					if err := ac.Request([]data.BlockID{1}, small); err != nil {
+						break
+					}
+					n++
+				}
+				queries = n
+			}
+			b.ReportMetric(float64(queries), "queries/block")
+		})
+	}
+}
+
+// BenchmarkAblationBudgetStrategy isolates the §5.4 conserve-vs-
+// aggressive choice at high load.
+func BenchmarkAblationBudgetStrategy(b *testing.B) {
+	for _, strat := range []workload.Strategy{workload.BlockConserve, workload.BlockAggressive} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				st := workload.Run(workload.Config{
+					Strategy: strat, EpsG: 1, BlockSize: 16000,
+					ArrivalRate: 0.7, Hours: 500, Seed: uint64(600 + i),
+				})
+				rel = st.AvgReleaseTime
+			}
+			b.ReportMetric(rel, "hours/release")
+		})
+	}
+}
+
+// BenchmarkAblationUserBlocks compares time-keyed (event-level) against
+// user-keyed (user-level, §4.4) block partitioning on insert+read.
+func BenchmarkAblationUserBlocks(b *testing.B) {
+	stream := taxi.Pipeline(20000, 0, 24*14, 0, 0, 9)
+	parts := map[string]data.Partitioner{
+		"time/24": data.TimePartitioner{Window: 24},
+		"user":    data.UserPartitioner{},
+	}
+	for name, part := range parts {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db := data.NewGrowingDatabase(part)
+				db.Insert(stream.Examples...)
+				_ = db.Read(db.Blocks())
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks on the substrate hot paths -----------------------
+
+func BenchmarkLaplaceMechanism(b *testing.B) {
+	r := rng.New(1)
+	m := privacy.LaplaceMechanism{Sensitivity: 1, Epsilon: 0.5}
+	for i := 0; i < b.N; i++ {
+		_ = m.Release(float64(i), r)
+	}
+}
+
+func BenchmarkRDPAccountantEpsilon(b *testing.B) {
+	acct := privacy.NewRDPAccountant()
+	acct.AddSampledGaussianSteps(0.01, 1.1, 1000)
+	for i := 0; i < b.N; i++ {
+		_ = acct.Epsilon(1e-6)
+	}
+}
+
+func BenchmarkBlockAccountingRequest(b *testing.B) {
+	ac := core.NewAccessControl(core.Policy{Global: privacy.MustBudget(1e9, 1)})
+	ids := make([]data.BlockID, 30)
+	for i := range ids {
+		ids[i] = data.BlockID(i)
+		ac.RegisterBlock(ids[i])
+	}
+	req := privacy.MustBudget(0.001, 1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ac.Request(ids, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaSSPTrain(b *testing.B) {
+	ds := taxi.Pipeline(20000, 0, 24*7, 0, 0, 10)
+	cfg := ml.AdaSSPConfig{
+		Budget: privacy.MustBudget(1, 1e-6),
+		Rho:    0.1, FeatureBound: 2.5, LabelBound: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ml.TrainAdaSSP(ds, cfg, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkDPSGDEpoch(b *testing.B) {
+	ds := taxi.Pipeline(5000, 0, 24*7, 0, 0, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ml.NewSGDLinearRegression(taxi.FeatureDim)
+		ml.TrainSGD(m, ds, ml.SGDConfig{
+			LearningRate: 0.05, Epochs: 1, BatchSize: 256,
+			DP: true, ClipNorm: 1, Budget: privacy.MustBudget(1, 1e-6),
+		}, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkLossValidatorAccept(b *testing.B) {
+	losses := make([]float64, 100000)
+	for i := range losses {
+		losses[i] = 0.003
+	}
+	v := validation.LossValidator{
+		Config: validation.Config{Mode: validation.ModeSage, Eta: 0.05, Epsilon: 0.5},
+		Target: 0.005, B: 1,
+	}
+	r := rng.New(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Accept(losses, r)
+	}
+}
+
+func BenchmarkTaxiGenerate(b *testing.B) {
+	gen := taxi.NewGenerator(taxi.Config{}, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Generate(10000, 0, 24)
+	}
+	b.SetBytes(10000)
+}

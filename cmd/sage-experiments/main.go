@@ -1,0 +1,103 @@
+// Command sage-experiments regenerates the paper's tables and figures
+// (§5) from the reproduction: Table 1 (configurations), Table 2
+// (validator violation rates), Fig. 5 (DP impact on quality), Fig. 6
+// (SLAed validation sample complexity), Fig. 7 (block vs query
+// composition), and Fig. 8 (workload release times).
+//
+// Usage:
+//
+//	sage-experiments -exp tab1|tab2|fig5|fig6|fig7|fig8|all [-scale small|full] [-seed N]
+//
+// The small scale finishes on a laptop in minutes; full mirrors the
+// paper's grid sizes (hours of compute).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: tab1, tab2, fig5, fig6, fig7, fig8, all")
+	scale := flag.String("scale", "small", "small (minutes) or full (hours)")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	full := *scale == "full"
+	if *scale != "full" && *scale != "small" {
+		fmt.Fprintln(os.Stderr, "unknown -scale; use small or full")
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s (scale=%s) ====\n", name, *scale)
+		fn()
+		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("tab1", func() { experiments.PrintTable1(os.Stdout) })
+
+	run("fig5", func() {
+		o := experiments.Fig5Options{Seed: *seed}
+		if !full {
+			o.Sizes = []int{10000, 50000, 200000}
+			o.Holdout = 50000
+		}
+		experiments.PrintFig5(os.Stdout, experiments.Fig5(o))
+	})
+
+	run("fig6", func() {
+		o := experiments.Fig6Options{Seed: *seed}
+		if !full {
+			o.MaxStream = 400000
+			o.TargetsPerConfig = 3
+		} else {
+			o.MaxStream = 2000000
+		}
+		experiments.PrintFig6(os.Stdout, experiments.Fig6(o))
+	})
+
+	run("tab2", func() {
+		o := experiments.Tab2Options{Seed: *seed}
+		if !full {
+			o.Runs = 15
+			o.Stream = 120000
+			o.Holdout = 50000
+		} else {
+			o.Runs = 100
+		}
+		experiments.PrintTab2(os.Stdout, experiments.Tab2(o))
+	})
+
+	run("fig7", func() {
+		o := experiments.Fig7Options{Seed: *seed}
+		if !full {
+			o.Sizes = []int{20000, 80000, 320000}
+			o.LRBlockSizes = []int{10000, 50000}
+			o.NNBlockSize = 100000
+			o.MaxStream = 640000
+			o.SkipNN = true
+		}
+		quality := experiments.Fig7Quality(o)
+		accepts := experiments.Fig7Accept(o)
+		experiments.PrintFig7(os.Stdout, quality, accepts)
+	})
+
+	run("fig8", func() {
+		o := experiments.Fig8Options{Seed: *seed}
+		if !full {
+			o.Hours = 800
+		} else {
+			o.Hours = 3000
+		}
+		experiments.PrintFig8(os.Stdout, experiments.Fig8(o))
+	})
+}

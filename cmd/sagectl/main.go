@@ -1,0 +1,97 @@
+// Command sagectl demonstrates Sage's access-control plane: it builds a
+// synthetic taxi stream, runs a few DP pipelines against it under a
+// global (εg, δg) policy, and prints the per-block privacy ledger —
+// what an operator would inspect in production.
+//
+// Usage:
+//
+//	sagectl [-epsg 1.0] [-delta 1e-6] [-days 30] [-pipelines 3] [-user-blocks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/pipeline"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/taxi"
+	"repro/internal/validation"
+)
+
+func main() {
+	epsG := flag.Float64("epsg", 1.0, "global per-block ε ceiling")
+	delta := flag.Float64("delta", 1e-6, "global per-block δ ceiling")
+	days := flag.Int("days", 30, "days of stream to generate")
+	nPipelines := flag.Int("pipelines", 3, "number of pipelines to run")
+	userBlocks := flag.Bool("user-blocks", false, "partition blocks by user ID (user-level privacy, §4.4) instead of by day")
+	flag.Parse()
+
+	budget, err := privacy.NewBudget(*epsG, *delta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var part data.Partitioner = data.TimePartitioner{Window: 24}
+	if *userBlocks {
+		part = data.UserPartitioner{}
+	}
+	db := data.NewGrowingDatabase(part)
+	ac := core.NewAccessControl(core.Policy{Global: budget})
+	ac.SetRetireCallback(func(id data.BlockID) {
+		fmt.Printf("! block %d retired (budget exhausted) — DP-informed retention would delete it\n", id)
+	})
+
+	stream := taxi.Pipeline((*days)*8000, 0, int64(*days)*24, 0, 0, 17)
+	for _, ex := range stream.Examples {
+		for _, id := range db.Insert(ex) {
+			ac.RegisterBlock(id)
+		}
+	}
+	fmt.Printf("stream: %d samples in %d blocks (partitioner %s), policy %v\n\n",
+		db.Size(), db.NumBlocks(), part.Name(), budget)
+
+	r := rng.New(3)
+	targets := []float64{0.0095, 0.0088, 0.0082, 0.0078, 0.0075}
+	for i := 0; i < *nPipelines; i++ {
+		target := targets[i%len(targets)]
+		pipe := &pipeline.Pipeline{
+			Name:    fmt.Sprintf("taxi-lr-%d", i),
+			Trainer: pipeline.AdaSSPTrainer{Rho: 0.1, FeatureBound: 2.5, LabelBound: 1},
+			Validator: pipeline.MSEValidator{
+				Target: target, B: 1,
+				ERMTrainer: pipeline.RidgeTrainer{Lambda: 1e-4},
+			},
+			Mode: validation.ModeSage,
+		}
+		st := &adaptive.StreamTrainer{
+			AC: ac, DB: db, Pipe: pipe,
+			Epsilon0: budget.Epsilon / 8, EpsilonCap: budget.Epsilon,
+			Delta: *delta / 100, MinWindow: min(6, db.NumBlocks()),
+		}
+		res, err := st.Run(r)
+		if err != nil {
+			fmt.Printf("pipeline %d (target %.4g): blocked — %v\n", i, target, err)
+			continue
+		}
+		fmt.Printf("pipeline %d (target %.4g): %v in %d iterations, %d samples, spent %v\n",
+			i, target, res.Decision, res.Iterations, res.Samples, res.TotalSpent)
+	}
+
+	fmt.Println("\nblock ledger:")
+	fmt.Printf("%-8s %-28s %-28s %-8s %s\n", "block", "loss", "remaining", "queries", "state")
+	for _, rep := range ac.Report(db.Blocks()) {
+		state := "active"
+		if rep.Retired {
+			state = "RETIRED"
+		}
+		fmt.Printf("%-8d %-28v %-28v %-8d %s\n", rep.ID, rep.Loss, rep.Remain, rep.Queries, state)
+	}
+	fmt.Printf("\nstream-wide privacy loss (max over blocks): %v — guarantee %v holds\n",
+		ac.StreamLoss(), budget)
+}

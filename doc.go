@@ -1,0 +1,31 @@
+// Package sage is a from-scratch Go reproduction of "Privacy Accounting
+// and Quality Control in the Sage Differentially Private ML Platform"
+// (Lécuyer, Spahn, Vodrahalli, Geambasu, Hsu — SOSP 2019).
+//
+// Sage enforces one global (εg, δg) differential-privacy guarantee over
+// every model and statistic released from a sensitive data stream. The
+// two contributions reproduced here are:
+//
+//   - Block composition (internal/core): privacy-loss accounting at the
+//     granularity of stream blocks, so pipelines train on overlapping,
+//     adaptively chosen windows while the stream-wide loss stays at the
+//     maximum per-block loss — new blocks arrive with fresh budget and
+//     the platform never runs out.
+//   - Privacy-adaptive training (internal/adaptive) with SLAed
+//     validation (internal/validation): retry loops that double data or
+//     budget until a statistically rigorous, DP-corrected ACCEPT test
+//     passes.
+//
+// Substrates — DP mechanisms with an RDP accountant (internal/privacy),
+// AdaSSP and DP-SGD trainers (internal/ml), DP statistics
+// (internal/stats), a TFX-like pipeline framework (internal/pipeline),
+// synthetic Taxi/Criteo streams (internal/taxi, internal/criteo), and a
+// workload simulator (internal/workload) — are all implemented on the
+// Go standard library alone.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation at reduced scale; cmd/sage-experiments runs them at full
+// scale.
+package sage

@@ -1,0 +1,265 @@
+package adaptive
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/pipeline"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/taxi"
+	"repro/internal/validation"
+)
+
+// taxiStream is a shared 300K-sample featurized stream.
+var taxiStream = taxi.Pipeline(300000, 0, 24*60, 0, 0, 7)
+
+func lrPipeline(target float64) *pipeline.Pipeline {
+	return &pipeline.Pipeline{
+		Name:    "taxi-lr",
+		Trainer: pipeline.AdaSSPTrainer{Rho: 0.1, FeatureBound: 2.5, LabelBound: 1},
+		Validator: pipeline.MSEValidator{
+			Target: target, B: 1,
+			ERMTrainer: pipeline.RidgeTrainer{Lambda: 1e-4},
+		},
+		Mode: validation.ModeSage,
+	}
+}
+
+func TestSearchAcceptsReachableTarget(t *testing.T) {
+	s := Search{
+		Pipe:       lrPipeline(0.006),
+		Epsilon0:   0.1,
+		EpsilonCap: 1.0,
+		Delta:      1e-6,
+		MinSamples: 5000,
+	}
+	res, err := s.Run(SliceSource{Data: taxiStream}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Accept {
+		t.Fatalf("decision = %v after %d iters (quality %v, n %d)",
+			res.Decision, res.Iterations, res.Quality, res.Samples)
+	}
+	if res.Model == nil {
+		t.Error("accepted search should return the model")
+	}
+	if res.Iterations < 2 {
+		t.Errorf("expected multiple doubling iterations, got %d", res.Iterations)
+	}
+}
+
+func TestSearchBudgetDoublingFourXBound(t *testing.T) {
+	// The paper's 4× bound applies to the DP *budget* search: when the
+	// search accepts while still doubling ε (data window fixed), the
+	// failed iterations cost at most the final budget, and the final
+	// budget overshoots the optimum by at most 2×. Run with the full
+	// window from the start so only ε doubles.
+	s := Search{
+		Pipe:       lrPipeline(0.006),
+		Epsilon0:   0.05,
+		EpsilonCap: 1.0,
+		Delta:      1e-6,
+		MinSamples: taxiStream.Len(),
+	}
+	res, err := s.Run(SliceSource{Data: taxiStream}, rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Accept {
+		t.Fatalf("decision = %v (quality %v)", res.Decision, res.Quality)
+	}
+	if res.TotalSpent.Epsilon > 4*res.FinalBudget.Epsilon {
+		t.Errorf("total ε %v exceeds 4× final %v", res.TotalSpent.Epsilon, res.FinalBudget.Epsilon)
+	}
+}
+
+func TestSearchRejectsImpossibleTarget(t *testing.T) {
+	// Pure noise labels; target far below the achievable 0.25.
+	noisy := &data.Dataset{}
+	gen := rng.New(2)
+	for i := 0; i < 120000; i++ {
+		y := 0.0
+		if gen.Bool(0.5) {
+			y = 1
+		}
+		noisy.Append(data.Example{Features: []float64{gen.Float64()}, Label: y})
+	}
+	s := Search{
+		Pipe:       lrPipeline(0.05),
+		Epsilon0:   0.25,
+		EpsilonCap: 1.0,
+		Delta:      1e-6,
+		MinSamples: 10000,
+	}
+	res, err := s.Run(SliceSource{Data: noisy}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Reject {
+		t.Fatalf("decision = %v, want REJECT", res.Decision)
+	}
+}
+
+func TestSearchRetriesWhenDataRunsOut(t *testing.T) {
+	small := taxiStream.Head(3000) // far too little for a tight target
+	s := Search{
+		Pipe:       lrPipeline(0.0028),
+		Epsilon0:   0.5,
+		EpsilonCap: 1.0,
+		Delta:      1e-6,
+		MinSamples: 1000,
+	}
+	res, err := s.Run(SliceSource{Data: small}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Retry {
+		t.Fatalf("decision = %v, want RETRY (stream exhausted)", res.Decision)
+	}
+	if res.Samples > 3000 {
+		t.Errorf("used %d samples from a 3000-sample stream", res.Samples)
+	}
+}
+
+func TestSearchAggressiveUsesEverythingAtOnce(t *testing.T) {
+	s := Search{
+		Pipe:       lrPipeline(0.006),
+		Epsilon0:   0.1,
+		EpsilonCap: 1.0,
+		Delta:      1e-6,
+		MinSamples: 5000,
+		Aggressive: true,
+	}
+	res, err := s.Run(SliceSource{Data: taxiStream}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Accept {
+		t.Fatalf("decision = %v", res.Decision)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("aggressive should accept in 1 iteration, took %d", res.Iterations)
+	}
+	if res.Samples != taxiStream.Len() {
+		t.Errorf("aggressive should use the full stream, used %d", res.Samples)
+	}
+	if res.FinalBudget.Epsilon < 0.99 {
+		t.Errorf("aggressive should spend the cap, spent %v", res.FinalBudget.Epsilon)
+	}
+}
+
+func TestSearchConserveSpendsLessThanAggressive(t *testing.T) {
+	conserve := Search{
+		Pipe: lrPipeline(0.006), Epsilon0: 0.1, EpsilonCap: 1.0,
+		Delta: 1e-6, MinSamples: 20000,
+	}
+	aggressive := conserve
+	aggressive.Aggressive = true
+	rc, err := conserve.Run(SliceSource{Data: taxiStream}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := aggressive.Run(SliceSource{Data: taxiStream}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Decision != validation.Accept || ra.Decision != validation.Accept {
+		t.Fatalf("decisions %v / %v", rc.Decision, ra.Decision)
+	}
+	if rc.FinalBudget.Epsilon >= ra.FinalBudget.Epsilon {
+		t.Errorf("conserve final ε %v not below aggressive %v",
+			rc.FinalBudget.Epsilon, ra.FinalBudget.Epsilon)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	src := SliceSource{Data: taxiStream.Head(100)}
+	cases := []Search{
+		{Pipe: nil, Epsilon0: 0.1, EpsilonCap: 1, MinSamples: 10},
+		{Pipe: lrPipeline(0.01), Epsilon0: 0, EpsilonCap: 1, MinSamples: 10},
+		{Pipe: lrPipeline(0.01), Epsilon0: 2, EpsilonCap: 1, MinSamples: 10},
+		{Pipe: lrPipeline(0.01), Epsilon0: 0.1, EpsilonCap: 1, MinSamples: 0},
+	}
+	for i, s := range cases {
+		if _, err := s.Run(src, rng.New(8)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestStreamTrainerEndToEnd(t *testing.T) {
+	// Build a growing database of daily blocks and an access control,
+	// then train a pipeline through the Sage Iterator.
+	db := data.NewGrowingDatabase(data.TimePartitioner{Window: 24})
+	ac := core.NewAccessControl(core.Policy{Global: privacy.MustBudget(1, 1e-6)})
+	for _, ex := range taxiStream.Examples {
+		for _, id := range db.Insert(ex) {
+			ac.RegisterBlock(id)
+		}
+	}
+	st := &StreamTrainer{
+		AC: ac, DB: db, Pipe: lrPipeline(0.01),
+		Epsilon0: 0.1, EpsilonCap: 1.0, Delta: 1e-6,
+		MinWindow: 6,
+	}
+	res, err := st.Run(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Accept {
+		t.Fatalf("decision = %v (quality %v, samples %d)", res.Decision, res.Quality, res.Samples)
+	}
+	if len(res.Blocks) == 0 {
+		t.Fatal("no blocks recorded")
+	}
+	// Every used block must have been charged exactly the final spend
+	// plus the failed iterations that touched it; all within the global
+	// ceiling (Theorem 4.3 invariant).
+	for _, id := range db.Blocks() {
+		loss := ac.BlockLoss(id)
+		if loss.Epsilon > 1+1e-9 {
+			t.Errorf("block %d loss %v exceeds ceiling", id, loss)
+		}
+	}
+	if sl := ac.StreamLoss(); sl.Epsilon > 1+1e-9 {
+		t.Errorf("stream loss %v exceeds ceiling", sl)
+	}
+	if sl := ac.StreamLoss(); sl.Epsilon == 0 {
+		t.Error("stream loss should be positive after training")
+	}
+}
+
+func TestStreamTrainerInsufficientBudget(t *testing.T) {
+	db := data.NewGrowingDatabase(data.TimePartitioner{Window: 24})
+	ac := core.NewAccessControl(core.Policy{Global: privacy.MustBudget(1, 1e-6)})
+	for _, ex := range taxiStream.Head(50000).Examples {
+		for _, id := range db.Insert(ex) {
+			ac.RegisterBlock(id)
+		}
+	}
+	// Drain all blocks.
+	for _, id := range db.Blocks() {
+		if err := ac.Request([]data.BlockID{id}, privacy.MustBudget(1, 1e-6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := &StreamTrainer{
+		AC: ac, DB: db, Pipe: lrPipeline(0.006),
+		Epsilon0: 0.1, EpsilonCap: 1.0, Delta: 1e-6, MinWindow: 2,
+	}
+	_, err := st.Run(rng.New(10))
+	if !errors.Is(err, ErrInsufficientBudget) {
+		t.Fatalf("err = %v, want ErrInsufficientBudget", err)
+	}
+}
+
+func TestStreamTrainerMissingFields(t *testing.T) {
+	st := &StreamTrainer{}
+	if _, err := st.Run(rng.New(11)); err == nil {
+		t.Error("empty trainer should error")
+	}
+}

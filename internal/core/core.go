@@ -1,0 +1,328 @@
+// Package core implements Sage's central contribution: block composition
+// accounting and the access-control layer that enforces a global (εg, δg)
+// differential-privacy guarantee over every model and feature ever
+// released from a sensitive data stream (§3.2 and §4 of the paper).
+//
+// The stream is split into disjoint blocks (by time for event-level
+// privacy, by user ID for user-level privacy). Training pipelines request
+// an (ε, δ) budget against an adaptively chosen set of blocks; the access
+// control grants the request only if every involved block stays within
+// the global ceiling. By Theorem 4.2, the privacy loss over the whole
+// stream is the maximum per-block loss, so fresh blocks restore the
+// platform's ability to train: Sage never runs out of budget as long as
+// the database grows fast enough.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/privacy"
+)
+
+// Policy configures the global DP guarantee enforced on each block of a
+// stream.
+type Policy struct {
+	// Global is the (εg, δg) ceiling every block's cumulative privacy
+	// loss must stay under.
+	Global privacy.Budget
+	// Arithmetic combines per-query budgets into a cumulative loss.
+	// Nil defaults to basic composition (Theorem 4.3); strong variants
+	// (Theorems A.1/A.2) permit more queries under the same ceiling.
+	Arithmetic privacy.CompositionArithmetic
+}
+
+// blockState tracks one block's accounting.
+type blockState struct {
+	acct    *privacy.Accountant
+	retired bool
+}
+
+// AccessControl is Sage's DP access-control layer for one sensitive
+// stream (the "Sage Access Control" box of Fig. 2). It is safe for
+// concurrent use: Request atomically checks and deducts budget across all
+// blocks involved in a query, which is what makes adaptively chosen block
+// sets sound (Alg. 4c, lines 7-8).
+type AccessControl struct {
+	mu       sync.Mutex
+	policy   Policy
+	blocks   map[data.BlockID]*blockState
+	onRetire func(data.BlockID)
+}
+
+// NewAccessControl returns an access-control layer enforcing the policy.
+func NewAccessControl(policy Policy) *AccessControl {
+	if err := policy.Global.Validate(); err != nil {
+		panic(err)
+	}
+	if policy.Global.Epsilon <= 0 {
+		panic("core: policy requires εg > 0")
+	}
+	return &AccessControl{policy: policy, blocks: make(map[data.BlockID]*blockState)}
+}
+
+// Policy returns the enforced policy.
+func (ac *AccessControl) Policy() Policy { return ac.policy }
+
+// SetRetireCallback registers a function invoked (synchronously, without
+// the lock held by callers' view) whenever a block is retired. Sage's
+// DP-informed retention policy hooks deletion of the raw data here.
+func (ac *AccessControl) SetRetireCallback(f func(data.BlockID)) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.onRetire = f
+}
+
+// RegisterBlock makes a new block known to the access control with a
+// fresh (zero) privacy loss. Registering an existing block is a no-op
+// returning false.
+func (ac *AccessControl) RegisterBlock(id data.BlockID) bool {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if _, ok := ac.blocks[id]; ok {
+		return false
+	}
+	ac.blocks[id] = &blockState{acct: privacy.NewAccountant(ac.policy.Arithmetic)}
+	return true
+}
+
+// NumBlocks returns the number of registered blocks.
+func (ac *AccessControl) NumBlocks() int {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return len(ac.blocks)
+}
+
+// ErrUnknownBlock is returned when a request names an unregistered block.
+type ErrUnknownBlock struct{ ID data.BlockID }
+
+func (e ErrUnknownBlock) Error() string {
+	return fmt.Sprintf("core: unknown block %d", e.ID)
+}
+
+// ErrBlockExhausted is returned when a request would push a block's
+// cumulative privacy loss over the global ceiling.
+type ErrBlockExhausted struct {
+	ID        data.BlockID
+	Requested privacy.Budget
+	Remaining privacy.Budget
+}
+
+func (e ErrBlockExhausted) Error() string {
+	return fmt.Sprintf("core: block %d cannot afford %v (remaining %v)",
+		e.ID, e.Requested, e.Remaining)
+}
+
+// Request atomically deducts budget b from every block in ids. If any
+// block cannot afford it the whole request fails with ErrBlockExhausted
+// (or ErrUnknownBlock) and no budget is deducted anywhere. This is the
+// AccessControl predicate of Alg. (4c): the query may run only if every
+// involved block stays within (εg, δg).
+func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("core: request names no blocks")
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if b.IsZero() {
+		return nil
+	}
+	ac.mu.Lock()
+	var retiredNow []data.BlockID
+	err := func() error {
+		// Phase 1: check every block.
+		for _, id := range ids {
+			st, ok := ac.blocks[id]
+			if !ok {
+				return ErrUnknownBlock{ID: id}
+			}
+			if st.retired || st.acct.WouldExceed(b, ac.policy.Global) {
+				return ErrBlockExhausted{
+					ID:        id,
+					Requested: b,
+					Remaining: ac.policy.Global.Sub(st.acct.Loss()),
+				}
+			}
+		}
+		// Phase 2: deduct everywhere.
+		for _, id := range ids {
+			st := ac.blocks[id]
+			st.acct.Spend(b)
+			if ac.shouldRetire(st) {
+				st.retired = true
+				retiredNow = append(retiredNow, id)
+			}
+		}
+		return nil
+	}()
+	cb := ac.onRetire
+	ac.mu.Unlock()
+	if err == nil && cb != nil {
+		for _, id := range retiredNow {
+			cb(id)
+		}
+	}
+	return err
+}
+
+// shouldRetire reports whether a block has no usable budget left. A block
+// is retired once the smallest meaningful request (ε = εg/1000) would
+// exceed the ceiling; the paper retires blocks whose loss reaches the
+// ceiling. Caller holds mu.
+func (ac *AccessControl) shouldRetire(st *blockState) bool {
+	probe := privacy.Budget{Epsilon: ac.policy.Global.Epsilon / 1000}
+	return st.acct.WouldExceed(probe, ac.policy.Global)
+}
+
+// Refund returns unspent budget to every block in ids. Pipelines reserve
+// budget up front and refund what privacy-adaptive training did not use
+// (§3.3). Refunding a retired block can un-retire it.
+func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if b.IsZero() {
+		return nil
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	for _, id := range ids {
+		st, ok := ac.blocks[id]
+		if !ok {
+			return ErrUnknownBlock{ID: id}
+		}
+		st.acct.Refund(b)
+		if !ac.shouldRetire(st) {
+			st.retired = false
+		}
+	}
+	return nil
+}
+
+// Retire forcibly retires a block regardless of remaining budget.
+func (ac *AccessControl) Retire(id data.BlockID) error {
+	ac.mu.Lock()
+	st, ok := ac.blocks[id]
+	if !ok {
+		ac.mu.Unlock()
+		return ErrUnknownBlock{ID: id}
+	}
+	already := st.retired
+	st.retired = true
+	cb := ac.onRetire
+	ac.mu.Unlock()
+	if !already && cb != nil {
+		cb(id)
+	}
+	return nil
+}
+
+// Retired reports whether a block has been retired.
+func (ac *AccessControl) Retired(id data.BlockID) bool {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	st, ok := ac.blocks[id]
+	return ok && st.retired
+}
+
+// BlockLoss returns a block's cumulative privacy loss under the policy's
+// arithmetic (zero for unknown blocks).
+func (ac *AccessControl) BlockLoss(id data.BlockID) privacy.Budget {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	st, ok := ac.blocks[id]
+	if !ok {
+		return privacy.Zero
+	}
+	return st.acct.Loss()
+}
+
+// Remaining returns the budget a block can still spend, conservatively
+// computed as ceiling − loss. Under basic composition this is exact;
+// under strong composition it understates what is actually spendable.
+func (ac *AccessControl) Remaining(id data.BlockID) privacy.Budget {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	st, ok := ac.blocks[id]
+	if !ok || st.retired {
+		return privacy.Zero
+	}
+	return ac.policy.Global.Sub(st.acct.Loss())
+}
+
+// AvailableBlocks returns the registered, non-retired blocks that can
+// still afford a request of at least the given budget, filtered from the
+// candidate list (pass a GrowingDatabase's Blocks()). Order is preserved.
+func (ac *AccessControl) AvailableBlocks(candidates []data.BlockID, atLeast privacy.Budget) []data.BlockID {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	var out []data.BlockID
+	for _, id := range candidates {
+		st, ok := ac.blocks[id]
+		if !ok || st.retired {
+			continue
+		}
+		if !st.acct.WouldExceed(atLeast, ac.policy.Global) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StreamLoss returns the privacy loss of the entire stream: by
+// Theorem 4.2 it is the maximum cumulative loss over blocks, so the
+// stream-wide guarantee is (εg, δg)-DP as long as every block stays under
+// the ceiling (Theorem 4.3).
+func (ac *AccessControl) StreamLoss() privacy.Budget {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	max := privacy.Zero
+	for _, st := range ac.blocks {
+		l := st.acct.Loss()
+		if l.Epsilon > max.Epsilon {
+			max.Epsilon = l.Epsilon
+		}
+		if l.Delta > max.Delta {
+			max.Delta = l.Delta
+		}
+	}
+	return max
+}
+
+// BlockReport summarizes one block's accounting state for inspection
+// tools (cmd/sagectl).
+type BlockReport struct {
+	ID      data.BlockID
+	Loss    privacy.Budget
+	Remain  privacy.Budget
+	Queries int
+	Retired bool
+}
+
+// Report returns per-block accounting state for the given blocks.
+func (ac *AccessControl) Report(ids []data.BlockID) []BlockReport {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	out := make([]BlockReport, 0, len(ids))
+	for _, id := range ids {
+		st, ok := ac.blocks[id]
+		if !ok {
+			continue
+		}
+		loss := st.acct.Loss()
+		remain := ac.policy.Global.Sub(loss)
+		if st.retired {
+			remain = privacy.Zero
+		}
+		out = append(out, BlockReport{
+			ID:      id,
+			Loss:    loss,
+			Remain:  remain,
+			Queries: st.acct.NumSpends(),
+			Retired: st.retired,
+		})
+	}
+	return out
+}

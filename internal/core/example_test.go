@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/privacy"
+)
+
+// Example demonstrates the block-composition accounting loop: two
+// queries on overlapping block sets, with the stream-wide loss equal to
+// the maximum per-block loss rather than the sum of query budgets.
+func Example() {
+	ac := core.NewAccessControl(core.Policy{Global: privacy.MustBudget(1.0, 1e-6)})
+	for id := data.BlockID(1); id <= 3; id++ {
+		ac.RegisterBlock(id)
+	}
+
+	// Q1 trains on blocks {1, 2}; Q2 on blocks {2, 3}.
+	_ = ac.Request([]data.BlockID{1, 2}, privacy.MustBudget(0.4, 0))
+	_ = ac.Request([]data.BlockID{2, 3}, privacy.MustBudget(0.5, 0))
+
+	fmt.Println("block 1:", ac.BlockLoss(1))
+	fmt.Println("block 2:", ac.BlockLoss(2))
+	fmt.Println("stream :", ac.StreamLoss())
+	// Output:
+	// block 1: (ε=0.4, δ=0)
+	// block 2: (ε=0.9, δ=0)
+	// stream : (ε=0.9, δ=0)
+}
+
+// ExampleAccessControl_Request shows the all-or-nothing semantics: a
+// request that any involved block cannot afford deducts nothing.
+func ExampleAccessControl_Request() {
+	ac := core.NewAccessControl(core.Policy{Global: privacy.MustBudget(1.0, 0)})
+	ac.RegisterBlock(1)
+	ac.RegisterBlock(2)
+	_ = ac.Request([]data.BlockID{2}, privacy.MustBudget(0.9, 0)) // drain block 2
+
+	err := ac.Request([]data.BlockID{1, 2}, privacy.MustBudget(0.5, 0))
+	fmt.Println("error:", err != nil)
+	fmt.Println("block 1 untouched:", ac.BlockLoss(1).IsZero())
+	// Output:
+	// error: true
+	// block 1 untouched: true
+}

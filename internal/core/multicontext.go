@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/privacy"
+)
+
+// MultiContextAccessControl maintains a separate (εg, δg) guarantee per
+// trust context — per developer team, geography, or serving region — as
+// sketched at the end of §3.2: if the company assumes contexts do not
+// collude, each context gets its own list of per-block budgets, so one
+// team exhausting a block does not starve another.
+type MultiContextAccessControl struct {
+	mu       sync.Mutex
+	policy   Policy
+	contexts map[string]*AccessControl
+	// known blocks, so new contexts see all previously registered blocks.
+	blocks map[data.BlockID]struct{}
+}
+
+// NewMultiContextAccessControl returns a per-context access control
+// enforcing the same policy in every context.
+func NewMultiContextAccessControl(policy Policy) *MultiContextAccessControl {
+	if err := policy.Global.Validate(); err != nil {
+		panic(err)
+	}
+	return &MultiContextAccessControl{
+		policy:   policy,
+		contexts: make(map[string]*AccessControl),
+		blocks:   make(map[data.BlockID]struct{}),
+	}
+}
+
+// RegisterBlock makes a block known to all contexts (existing and
+// future).
+func (m *MultiContextAccessControl) RegisterBlock(id data.BlockID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blocks[id] = struct{}{}
+	for _, ac := range m.contexts {
+		ac.RegisterBlock(id)
+	}
+}
+
+// Context returns the access control for the named context, creating it
+// (with all known blocks registered) on first use.
+func (m *MultiContextAccessControl) Context(name string) *AccessControl {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ac, ok := m.contexts[name]
+	if !ok {
+		ac = NewAccessControl(m.policy)
+		for id := range m.blocks {
+			ac.RegisterBlock(id)
+		}
+		m.contexts[name] = ac
+	}
+	return ac
+}
+
+// Contexts returns the names of all instantiated contexts, sorted.
+func (m *MultiContextAccessControl) Contexts() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.contexts))
+	for name := range m.contexts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorstCaseStreamLoss returns the privacy loss against an adversary who
+// can observe all contexts (i.e. if the non-collusion assumption fails):
+// per-block losses add across contexts, and the stream loss is the
+// maximum over blocks of that sum.
+func (m *MultiContextAccessControl) WorstCaseStreamLoss() privacy.Budget {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	max := privacy.Zero
+	for id := range m.blocks {
+		total := privacy.Zero
+		for _, ac := range m.contexts {
+			total = total.Add(ac.BlockLoss(id))
+		}
+		if total.Epsilon > max.Epsilon {
+			max.Epsilon = total.Epsilon
+		}
+		if total.Delta > max.Delta {
+			max.Delta = total.Delta
+		}
+	}
+	return max
+}

@@ -1,0 +1,304 @@
+// Package data implements Sage's data substrate: examples, datasets, and
+// the growing database that accumulates a sensitive stream and splits it
+// into disjoint blocks (Fig. 1 and §3.2 of the paper).
+//
+// Blocks are the unit of privacy accounting in Sage. The partitioning
+// attribute must be insensitive (its possible values publicly known); the
+// two attributes the paper highlights are time (event-level privacy) and
+// user ID (user-level privacy, §4.4).
+package data
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Example is one observation from a sensitive stream: a feature vector,
+// a label, and the insensitive attributes blocks can be keyed by.
+type Example struct {
+	Features []float64
+	Label    float64
+	Time     int64 // event time, in stream ticks (e.g. hours)
+	UserID   int64
+}
+
+// Dataset is an ordered collection of examples.
+type Dataset struct {
+	Examples []Example
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// FeatureDim returns the dimensionality of the feature vectors, or 0 for
+// an empty dataset.
+func (d *Dataset) FeatureDim() int {
+	if len(d.Examples) == 0 {
+		return 0
+	}
+	return len(d.Examples[0].Features)
+}
+
+// Append adds examples to the dataset.
+func (d *Dataset) Append(ex ...Example) { d.Examples = append(d.Examples, ex...) }
+
+// Merge returns a new dataset concatenating the receiver and others.
+func (d *Dataset) Merge(others ...*Dataset) *Dataset {
+	out := &Dataset{Examples: append([]Example{}, d.Examples...)}
+	for _, o := range others {
+		out.Examples = append(out.Examples, o.Examples...)
+	}
+	return out
+}
+
+// Shuffle permutes the examples in place.
+func (d *Dataset) Shuffle(r *rng.RNG) {
+	r.Shuffle(len(d.Examples), func(i, j int) {
+		d.Examples[i], d.Examples[j] = d.Examples[j], d.Examples[i]
+	})
+}
+
+// Split partitions the dataset into train and test sets with the given
+// train fraction (e.g. 0.9 for the paper's 90::10 split). The split is
+// deterministic given the RNG. The underlying examples are shared, not
+// copied.
+func (d *Dataset) Split(trainFrac float64, r *rng.RNG) (train, test *Dataset) {
+	if trainFrac < 0 || trainFrac > 1 {
+		panic(fmt.Sprintf("data: train fraction %v out of [0,1]", trainFrac))
+	}
+	idx := r.Perm(len(d.Examples))
+	nTrain := int(float64(len(d.Examples)) * trainFrac)
+	train = &Dataset{Examples: make([]Example, 0, nTrain)}
+	test = &Dataset{Examples: make([]Example, 0, len(d.Examples)-nTrain)}
+	for i, j := range idx {
+		if i < nTrain {
+			train.Examples = append(train.Examples, d.Examples[j])
+		} else {
+			test.Examples = append(test.Examples, d.Examples[j])
+		}
+	}
+	return train, test
+}
+
+// Subsample returns n examples drawn without replacement (all examples if
+// n >= Len).
+func (d *Dataset) Subsample(n int, r *rng.RNG) *Dataset {
+	if n >= len(d.Examples) {
+		return &Dataset{Examples: append([]Example{}, d.Examples...)}
+	}
+	idx := r.Perm(len(d.Examples))[:n]
+	out := &Dataset{Examples: make([]Example, n)}
+	for i, j := range idx {
+		out.Examples[i] = d.Examples[j]
+	}
+	return out
+}
+
+// Head returns the first n examples (all if n >= Len), sharing storage.
+func (d *Dataset) Head(n int) *Dataset {
+	if n > len(d.Examples) {
+		n = len(d.Examples)
+	}
+	return &Dataset{Examples: d.Examples[:n]}
+}
+
+// Labels returns a copy of all labels.
+func (d *Dataset) Labels() []float64 {
+	out := make([]float64, len(d.Examples))
+	for i, ex := range d.Examples {
+		out[i] = ex.Label
+	}
+	return out
+}
+
+// MeanLabel returns the arithmetic mean of the labels (0 for empty).
+// The paper's naïve baselines predict this value.
+func (d *Dataset) MeanLabel() float64 {
+	if len(d.Examples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, ex := range d.Examples {
+		sum += ex.Label
+	}
+	return sum / float64(len(d.Examples))
+}
+
+// BlockID identifies one block of the growing database. For time-keyed
+// blocks it is the time window index; for user-keyed blocks the user ID.
+type BlockID int64
+
+// Partitioner assigns examples to blocks by an insensitive attribute.
+type Partitioner interface {
+	// Key returns the block the example belongs to.
+	Key(Example) BlockID
+	// Name identifies the partitioning scheme ("time/24", "user").
+	Name() string
+}
+
+// TimePartitioner keys blocks by time window: block = Time / Window.
+// This yields the event-level privacy semantic (§3.2).
+type TimePartitioner struct {
+	Window int64 // ticks per block, e.g. 24 for daily blocks of hourly ticks
+}
+
+// Key implements Partitioner.
+func (p TimePartitioner) Key(ex Example) BlockID {
+	if p.Window <= 0 {
+		panic("data: TimePartitioner requires Window > 0")
+	}
+	t := ex.Time
+	if t < 0 {
+		t = 0
+	}
+	return BlockID(t / p.Window)
+}
+
+// Name implements Partitioner.
+func (p TimePartitioner) Name() string { return fmt.Sprintf("time/%d", p.Window) }
+
+// UserPartitioner keys blocks by user ID, yielding the user-level privacy
+// semantic (§4.4): all of one user's data lands in one block, so retiring
+// the block bounds the user's total exposure.
+type UserPartitioner struct{}
+
+// Key implements Partitioner.
+func (UserPartitioner) Key(ex Example) BlockID { return BlockID(ex.UserID) }
+
+// Name implements Partitioner.
+func (UserPartitioner) Name() string { return "user" }
+
+// Block is one disjoint unit of the growing database.
+type Block struct {
+	ID       BlockID
+	Examples []Example
+}
+
+// GrowingDatabase accumulates a data stream and partitions it into blocks.
+// It is safe for concurrent use.
+type GrowingDatabase struct {
+	mu     sync.RWMutex
+	part   Partitioner
+	blocks map[BlockID]*Block
+	order  []BlockID // sorted ascending
+}
+
+// NewGrowingDatabase returns an empty database with the given partitioner.
+func NewGrowingDatabase(p Partitioner) *GrowingDatabase {
+	if p == nil {
+		panic("data: nil partitioner")
+	}
+	return &GrowingDatabase{part: p, blocks: make(map[BlockID]*Block)}
+}
+
+// Partitioner returns the partitioning scheme.
+func (g *GrowingDatabase) Partitioner() Partitioner { return g.part }
+
+// Insert adds examples to the database, creating blocks as needed.
+// It returns the IDs of any newly created blocks, in first-seen order.
+func (g *GrowingDatabase) Insert(examples ...Example) []BlockID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var created []BlockID
+	for _, ex := range examples {
+		id := g.part.Key(ex)
+		b, ok := g.blocks[id]
+		if !ok {
+			b = &Block{ID: id}
+			g.blocks[id] = b
+			g.insertOrdered(id)
+			created = append(created, id)
+		}
+		b.Examples = append(b.Examples, ex)
+	}
+	return created
+}
+
+// insertOrdered inserts id into the sorted order slice. Caller holds mu.
+func (g *GrowingDatabase) insertOrdered(id BlockID) {
+	i := sort.Search(len(g.order), func(i int) bool { return g.order[i] >= id })
+	g.order = append(g.order, 0)
+	copy(g.order[i+1:], g.order[i:])
+	g.order[i] = id
+}
+
+// Blocks returns all block IDs in ascending order.
+func (g *GrowingDatabase) Blocks() []BlockID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]BlockID{}, g.order...)
+}
+
+// NumBlocks returns the number of blocks.
+func (g *GrowingDatabase) NumBlocks() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.order)
+}
+
+// BlockSize returns the number of examples in a block (0 if absent).
+func (g *GrowingDatabase) BlockSize(id BlockID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if b, ok := g.blocks[id]; ok {
+		return len(b.Examples)
+	}
+	return 0
+}
+
+// Size returns the total number of examples.
+func (g *GrowingDatabase) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, b := range g.blocks {
+		n += len(b.Examples)
+	}
+	return n
+}
+
+// Read assembles a dataset from the given blocks (missing IDs are
+// skipped). The examples are copied so callers may shuffle freely.
+func (g *GrowingDatabase) Read(ids []BlockID) *Dataset {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := &Dataset{}
+	for _, id := range ids {
+		if b, ok := g.blocks[id]; ok {
+			out.Examples = append(out.Examples, b.Examples...)
+		}
+	}
+	return out
+}
+
+// LatestBlocks returns the most recent n block IDs (fewer if the database
+// is smaller), ascending. For time-keyed blocks this is the relevance
+// window the paper's pipelines train on.
+func (g *GrowingDatabase) LatestBlocks(n int) []BlockID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if n > len(g.order) {
+		n = len(g.order)
+	}
+	return append([]BlockID{}, g.order[len(g.order)-n:]...)
+}
+
+// Delete removes a block's data entirely. Sage's DP-informed retention
+// policy calls this when a block's privacy budget is exhausted and the
+// company wants the raw data gone.
+func (g *GrowingDatabase) Delete(id BlockID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.blocks[id]; !ok {
+		return false
+	}
+	delete(g.blocks, id)
+	i := sort.Search(len(g.order), func(i int) bool { return g.order[i] >= id })
+	if i < len(g.order) && g.order[i] == id {
+		g.order = append(g.order[:i], g.order[i+1:]...)
+	}
+	return true
+}

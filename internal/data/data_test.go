@@ -1,0 +1,249 @@
+package data
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mkExample(t, u int64, label float64) Example {
+	return Example{Features: []float64{1, 2}, Label: label, Time: t, UserID: u}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := &Dataset{}
+	if d.Len() != 0 || d.FeatureDim() != 0 || d.MeanLabel() != 0 {
+		t.Error("empty dataset invariants broken")
+	}
+	d.Append(mkExample(0, 0, 1), mkExample(1, 1, 3))
+	if d.Len() != 2 || d.FeatureDim() != 2 {
+		t.Errorf("Len=%d FeatureDim=%d", d.Len(), d.FeatureDim())
+	}
+	if d.MeanLabel() != 2 {
+		t.Errorf("MeanLabel = %v, want 2", d.MeanLabel())
+	}
+	labels := d.Labels()
+	if len(labels) != 2 || labels[0] != 1 || labels[1] != 3 {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 1000; i++ {
+		d.Append(mkExample(int64(i), 0, float64(i)))
+	}
+	train, test := d.Split(0.9, rng.New(1))
+	if train.Len() != 900 || test.Len() != 100 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// No overlap, full coverage.
+	seen := make(map[float64]bool)
+	for _, ex := range train.Examples {
+		seen[ex.Label] = true
+	}
+	for _, ex := range test.Examples {
+		if seen[ex.Label] {
+			t.Fatalf("label %v in both train and test", ex.Label)
+		}
+		seen[ex.Label] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("coverage %d, want 1000", len(seen))
+	}
+}
+
+func TestDatasetSubsampleAndHead(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 100; i++ {
+		d.Append(mkExample(int64(i), 0, float64(i)))
+	}
+	s := d.Subsample(10, rng.New(2))
+	if s.Len() != 10 {
+		t.Fatalf("Subsample len = %d", s.Len())
+	}
+	seen := map[float64]bool{}
+	for _, ex := range s.Examples {
+		if seen[ex.Label] {
+			t.Fatal("subsample drew with replacement")
+		}
+		seen[ex.Label] = true
+	}
+	if d.Subsample(1000, rng.New(3)).Len() != 100 {
+		t.Error("oversized subsample should return everything")
+	}
+	if d.Head(5).Len() != 5 || d.Head(500).Len() != 100 {
+		t.Error("Head sizes wrong")
+	}
+}
+
+func TestTimePartitioner(t *testing.T) {
+	p := TimePartitioner{Window: 24}
+	if p.Key(mkExample(0, 0, 0)) != 0 || p.Key(mkExample(23, 0, 0)) != 0 {
+		t.Error("first day should map to block 0")
+	}
+	if p.Key(mkExample(24, 0, 0)) != 1 || p.Key(mkExample(49, 0, 0)) != 2 {
+		t.Error("later days map wrongly")
+	}
+	if p.Key(mkExample(-5, 0, 0)) != 0 {
+		t.Error("negative time should clamp to block 0")
+	}
+	if p.Name() != "time/24" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestUserPartitioner(t *testing.T) {
+	p := UserPartitioner{}
+	if p.Key(mkExample(0, 42, 0)) != 42 {
+		t.Error("user partitioner should key by user ID")
+	}
+	if p.Name() != "user" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestGrowingDatabaseInsertRead(t *testing.T) {
+	g := NewGrowingDatabase(TimePartitioner{Window: 10})
+	created := g.Insert(mkExample(5, 0, 1), mkExample(15, 0, 2), mkExample(7, 0, 3))
+	if len(created) != 2 {
+		t.Fatalf("created %v, want 2 blocks", created)
+	}
+	if g.NumBlocks() != 2 || g.Size() != 3 {
+		t.Fatalf("NumBlocks=%d Size=%d", g.NumBlocks(), g.Size())
+	}
+	if g.BlockSize(0) != 2 || g.BlockSize(1) != 1 || g.BlockSize(99) != 0 {
+		t.Error("block sizes wrong")
+	}
+	ds := g.Read([]BlockID{0, 1, 99})
+	if ds.Len() != 3 {
+		t.Errorf("Read len = %d", ds.Len())
+	}
+	if only := g.Read([]BlockID{1}); only.Len() != 1 || only.Examples[0].Label != 2 {
+		t.Errorf("Read block 1 = %+v", only.Examples)
+	}
+}
+
+func TestGrowingDatabaseOrdering(t *testing.T) {
+	g := NewGrowingDatabase(TimePartitioner{Window: 1})
+	// Insert out of order.
+	g.Insert(mkExample(5, 0, 0), mkExample(1, 0, 0), mkExample(3, 0, 0), mkExample(2, 0, 0))
+	got := g.Blocks()
+	want := []BlockID{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Blocks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks = %v, want %v", got, want)
+		}
+	}
+	latest := g.LatestBlocks(2)
+	if len(latest) != 2 || latest[0] != 3 || latest[1] != 5 {
+		t.Errorf("LatestBlocks = %v", latest)
+	}
+	if len(g.LatestBlocks(100)) != 4 {
+		t.Error("oversized LatestBlocks should return all")
+	}
+}
+
+func TestGrowingDatabaseDelete(t *testing.T) {
+	g := NewGrowingDatabase(TimePartitioner{Window: 1})
+	g.Insert(mkExample(0, 0, 0), mkExample(1, 0, 0))
+	if !g.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	if g.Delete(0) {
+		t.Fatal("double delete should return false")
+	}
+	if g.NumBlocks() != 1 || g.Blocks()[0] != 1 {
+		t.Errorf("after delete: %v", g.Blocks())
+	}
+}
+
+func TestGrowingDatabaseUserBlocks(t *testing.T) {
+	g := NewGrowingDatabase(UserPartitioner{})
+	g.Insert(mkExample(0, 7, 1), mkExample(100, 7, 2), mkExample(5, 3, 3))
+	if g.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2 (one per user)", g.NumBlocks())
+	}
+	if g.BlockSize(7) != 2 || g.BlockSize(3) != 1 {
+		t.Error("user block sizes wrong")
+	}
+}
+
+func TestGrowingDatabaseConcurrency(t *testing.T) {
+	g := NewGrowingDatabase(TimePartitioner{Window: 5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Insert(mkExample(int64(i%50), int64(w), 1))
+				_ = g.Blocks()
+				_ = g.Read(g.LatestBlocks(3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Size() != 8*500 {
+		t.Errorf("Size = %d, want 4000", g.Size())
+	}
+}
+
+// Property: blocks are disjoint and jointly exhaustive — every inserted
+// example is in exactly one block, and Read over all blocks returns all.
+func TestBlockPartitionProperty(t *testing.T) {
+	f := func(times []int16, window uint8) bool {
+		w := int64(window)%20 + 1
+		g := NewGrowingDatabase(TimePartitioner{Window: w})
+		for i, tm := range times {
+			tt := int64(tm)
+			if tt < 0 {
+				tt = -tt
+			}
+			g.Insert(mkExample(tt, 0, float64(i)))
+		}
+		if g.Size() != len(times) {
+			return false
+		}
+		all := g.Read(g.Blocks())
+		if all.Len() != len(times) {
+			return false
+		}
+		seen := make(map[float64]int)
+		for _, ex := range all.Examples {
+			seen[ex.Label]++
+		}
+		for i := range times {
+			if seen[float64(i)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split preserves all examples for any fraction.
+func TestSplitPreservesProperty(t *testing.T) {
+	f := func(n uint8, fracRaw uint8) bool {
+		d := &Dataset{}
+		for i := 0; i < int(n); i++ {
+			d.Append(mkExample(int64(i), 0, float64(i)))
+		}
+		frac := float64(fracRaw) / 255
+		train, test := d.Split(frac, rng.New(uint64(n)))
+		return train.Len()+test.Len() == int(n) &&
+			math.Abs(float64(train.Len())-frac*float64(n)) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/validation"
+)
+
+// Fig5Point is one measurement of Fig. 5: the quality of one model
+// variant trained on N samples and evaluated on a held-out set.
+type Fig5Point struct {
+	Task    Task
+	Model   string // "LR", "NN", "LG"
+	Variant string // "NP", "ε=1.00", "ε=0.05", ...
+	N       int
+	Quality float64 // MSE for Taxi (lower better), accuracy for Criteo
+}
+
+// Fig5Options scales the experiment. The zero value gives the full
+// sweep; benches shrink Sizes and Holdout.
+type Fig5Options struct {
+	// Sizes is the training-set size grid (default 10K…1M log grid).
+	Sizes []int
+	// Holdout is the evaluation set size (paper: 100K).
+	Holdout int
+	// Models filters by model name; empty runs all.
+	Models []string
+	// Seed drives data generation and DP noise.
+	Seed uint64
+}
+
+func (o *Fig5Options) fill() {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{10000, 30000, 100000, 300000, 1000000}
+	}
+	if o.Holdout == 0 {
+		o.Holdout = 100000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// wants reports whether the model is selected.
+func (o *Fig5Options) wants(name string) bool {
+	if len(o.Models) == 0 {
+		return true
+	}
+	for _, m := range o.Models {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig5 regenerates the learning curves of Fig. 5: for each Table 1
+// pipeline, the non-private, large-ε and small-ε variants trained on
+// growing data, evaluated on a held-out set.
+func Fig5(o Fig5Options) []Fig5Point {
+	o.fill()
+	var out []Fig5Point
+	for _, cfg := range Configs() {
+		if !o.wants(cfg.Task.String() + "-" + cfg.Name) {
+			continue
+		}
+		maxN := o.Sizes[len(o.Sizes)-1]
+		stream := Dataset(cfg.Task, maxN, o.Seed)
+		holdout := Dataset(cfg.Task, o.Holdout, o.Seed+1)
+		variants := []struct {
+			name string
+			dp   bool
+			eps  float64
+		}{
+			{"NP", false, 0},
+			{fmt.Sprintf("ε=%.2f", cfg.LargeEps), true, cfg.LargeEps},
+			{fmt.Sprintf("ε=%.2f", cfg.SmallEps), true, cfg.SmallEps},
+		}
+		for _, v := range variants {
+			for _, n := range o.Sizes {
+				p := cfg.Build(v.dp, cfg.Targets[0], validation.ModeSage)
+				train := stream.Head(n)
+				// Train directly (no validation): Fig. 5 measures
+				// training quality, not acceptance.
+				budget := privacy.Budget{Epsilon: v.eps, Delta: cfg.Delta}
+				r := rng.New(o.Seed + uint64(n) + uint64(v.eps*1000))
+				model := p.Trainer.Train(train, budget, r)
+				q := quality(cfg.Task, model, holdout)
+				out = append(out, Fig5Point{
+					Task: cfg.Task, Model: cfg.Name, Variant: v.name,
+					N: n, Quality: q,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// quality evaluates a model with the task's metric: MSE for the Taxi
+// regression, accuracy for the Criteo classification.
+func quality(task Task, m ml.Model, holdout *data.Dataset) float64 {
+	if task == TaxiRegression {
+		return ml.MSE(m, holdout)
+	}
+	return ml.Accuracy(m, holdout)
+}
+
+// PrintFig5 renders the points as the four panels of Fig. 5.
+func PrintFig5(w io.Writer, pts []Fig5Point) {
+	fmt.Fprintln(w, "Fig. 5. Impact of DP on training pipelines (quality vs training samples)")
+	last := ""
+	for _, p := range pts {
+		panel := fmt.Sprintf("%s %s", p.Task, p.Model)
+		if panel != last {
+			metric := "MSE"
+			if p.Task == CriteoClassification {
+				metric = "Accuracy"
+			}
+			fmt.Fprintf(w, "-- %s (%s) --\n", panel, metric)
+			last = panel
+		}
+		fmt.Fprintf(w, "%-8s n=%-8d quality=%.6f\n", p.Variant, p.N, p.Quality)
+	}
+}

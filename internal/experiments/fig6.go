@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/adaptive"
+	"repro/internal/rng"
+	"repro/internal/validation"
+)
+
+// Fig6Point is one measurement of Fig. 6: the number of samples
+// privacy-adaptive training needed before the given validation mode
+// ACCEPTed the model at the given quality target.
+type Fig6Point struct {
+	Task   Task
+	Model  string
+	Mode   validation.Mode
+	Target float64
+	// Samples required to ACCEPT; = MaxStream+1 when never accepted
+	// within the stream (rendered as "∞" by PrintFig6).
+	Samples  int
+	Accepted bool
+}
+
+// Fig6Options scales the experiment.
+type Fig6Options struct {
+	// MaxStream bounds the stream a search may consume (paper sweeps
+	// to 10M; default 1M).
+	MaxStream int
+	// MinSamples is the initial window (default 5000).
+	MinSamples int
+	// Modes to compare (default: all four Table 2 modes).
+	Modes []validation.Mode
+	// Models filters by "<Task>-<Name>"; empty runs all.
+	Models []string
+	// Targets overrides each config's target list (useful for benches).
+	TargetsPerConfig int // 0 = all targets; k = first k targets
+	Seed             uint64
+}
+
+func (o *Fig6Options) fill() {
+	if o.MaxStream == 0 {
+		o.MaxStream = 1000000
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 5000
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = []validation.Mode{
+			validation.ModeNoSLA, validation.ModeNPSLA,
+			validation.ModeUncorrectedDP, validation.ModeSage,
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 2
+	}
+}
+
+func (o *Fig6Options) wants(name string) bool {
+	if len(o.Models) == 0 {
+		return true
+	}
+	for _, m := range o.Models {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig6 regenerates the sample-complexity curves of Fig. 6: for each
+// pipeline, target, and validation mode, the data required for
+// privacy-adaptive training to ACCEPT.
+func Fig6(o Fig6Options) []Fig6Point {
+	o.fill()
+	var out []Fig6Point
+	for _, cfg := range Configs() {
+		name := cfg.Task.String() + "-" + cfg.Name
+		if !o.wants(name) {
+			continue
+		}
+		stream := Dataset(cfg.Task, o.MaxStream, o.Seed)
+		targets := cfg.Targets
+		if o.TargetsPerConfig > 0 && o.TargetsPerConfig < len(targets) {
+			targets = targets[:o.TargetsPerConfig]
+		}
+		for _, target := range targets {
+			for _, mode := range o.Modes {
+				// NP SLA uses the non-private trainer (it measures the
+				// cost of statistical rigor alone); the DP modes use
+				// the DP trainer.
+				dp := mode != validation.ModeNPSLA
+				pipe := cfg.Build(dp, target, mode)
+				search := adaptive.Search{
+					Pipe:       pipe,
+					Epsilon0:   cfg.LargeEps / 8,
+					EpsilonCap: cfg.LargeEps,
+					Delta:      cfg.Delta,
+					MinSamples: o.MinSamples,
+					MaxSamples: o.MaxStream,
+				}
+				res, err := search.Run(adaptive.SliceSource{Data: stream},
+					rng.New(o.Seed+uint64(mode)+uint64(target*1e6)))
+				pt := Fig6Point{
+					Task: cfg.Task, Model: cfg.Name,
+					Mode: mode, Target: target,
+				}
+				if err == nil && res.Decision == validation.Accept {
+					pt.Samples = res.Samples
+					pt.Accepted = true
+				} else {
+					pt.Samples = o.MaxStream + 1
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}
+
+// PrintFig6 renders the points as the four panels of Fig. 6.
+func PrintFig6(w io.Writer, pts []Fig6Point) {
+	fmt.Fprintln(w, "Fig. 6. Samples required to ACCEPT models at quality targets")
+	last := ""
+	for _, p := range pts {
+		panel := fmt.Sprintf("%s %s", p.Task, p.Model)
+		if panel != last {
+			fmt.Fprintf(w, "-- %s ACCEPT --\n", panel)
+			last = panel
+		}
+		n := fmt.Sprintf("%d", p.Samples)
+		if !p.Accepted {
+			n = "∞ (not accepted within stream)"
+		}
+		fmt.Fprintf(w, "%-10s target=%-8.4g samples=%s\n", p.Mode, p.Target, n)
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/validation"
+)
+
+// Fig. 7 compares Sage's block composition — one noise draw over the
+// combined training set — against query-level accounting, where the
+// dataset is partitioned into fixed-size blocks, each block is queried
+// with its own DP noise, and the results are aggregated (model averaging
+// for training, noisy-sum aggregation for validation). The paper's
+// block sizes are 100K/500K/5M on a 37M-sample stream; ours scale down
+// with the synthetic stream (DESIGN.md documents the substitution).
+
+// Fig7QualityPoint is one training-quality measurement (Fig. 7a/7c).
+type Fig7QualityPoint struct {
+	Model     string // "LR" or "NN"
+	Mode      string // "Block Comp." or "Query Comp. <size>"
+	N         int
+	MSE       float64
+	BlockSize int // 0 for block composition
+}
+
+// Fig7AcceptPoint is one validation sample-complexity measurement
+// (Fig. 7b/7d).
+type Fig7AcceptPoint struct {
+	Model     string
+	Mode      string
+	Target    float64
+	Samples   int // MaxStream+1 if never accepted
+	Accepted  bool
+	BlockSize int
+}
+
+// Fig7Options scales the experiment.
+type Fig7Options struct {
+	// Sizes is the training-size grid (default 10K…1M).
+	Sizes []int
+	// LRBlockSizes are the query-composition block sizes for the LR
+	// (default 25K, 100K — scaled from the paper's 100K/500K).
+	LRBlockSizes []int
+	// NNBlockSize for the NN panel (default 200K, scaled from 5M).
+	NNBlockSize int
+	// Targets for the ACCEPT panels (default: LR config targets).
+	Targets []float64
+	// MaxStream bounds the ACCEPT search (default 1M).
+	MaxStream int
+	// Holdout evaluation size (default 50K).
+	Holdout int
+	// SkipNN drops the (expensive) NN panel.
+	SkipNN bool
+	Seed   uint64
+}
+
+func (o *Fig7Options) fill() {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{10000, 30000, 100000, 300000, 1000000}
+	}
+	if len(o.LRBlockSizes) == 0 {
+		o.LRBlockSizes = []int{25000, 100000}
+	}
+	if o.NNBlockSize == 0 {
+		o.NNBlockSize = 200000
+	}
+	if len(o.Targets) == 0 {
+		o.Targets = Configs()[0].Targets
+	}
+	if o.MaxStream == 0 {
+		o.MaxStream = 1000000
+	}
+	if o.Holdout == 0 {
+		o.Holdout = 50000
+	}
+	if o.Seed == 0 {
+		o.Seed = 4
+	}
+}
+
+// trainLRBlockwise trains AdaSSP per block and averages the weights —
+// the federated-style aggregation the paper describes for query-level
+// accounting.
+func trainLRBlockwise(ds *data.Dataset, blockSize int, eps, delta float64, r *rng.RNG) ml.Model {
+	cfg := ml.AdaSSPConfig{
+		Budget:       privacy.Budget{Epsilon: eps, Delta: delta},
+		Rho:          0.1,
+		FeatureBound: 2.5,
+		LabelBound:   1,
+	}
+	var avg *ml.LinearModel
+	count := 0
+	for lo := 0; lo < ds.Len(); lo += blockSize {
+		hi := lo + blockSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if hi-lo < blockSize/2 && count > 0 {
+			break // drop a tiny trailing shard
+		}
+		block := &data.Dataset{Examples: ds.Examples[lo:hi]}
+		m := ml.TrainAdaSSP(block, cfg, r)
+		if avg == nil {
+			avg = &ml.LinearModel{Weights: make([]float64, len(m.Weights))}
+		}
+		linalg.AXPY(1, m.Weights, avg.Weights)
+		avg.Bias += m.Bias
+		count++
+	}
+	if avg == nil {
+		return &ml.LinearModel{Weights: make([]float64, ds.FeatureDim())}
+	}
+	linalg.Scale(1/float64(count), avg.Weights)
+	avg.Bias /= float64(count)
+	return avg
+}
+
+// trainNNBlockwise trains an MLP per block with DP-SGD (same init) and
+// averages the parameters.
+func trainNNBlockwise(ds *data.Dataset, blockSize int, eps, delta float64, dim int, seed uint64, r *rng.RNG) ml.Model {
+	var avg []float64
+	var ref *ml.MLP
+	count := 0
+	for lo := 0; lo < ds.Len(); lo += blockSize {
+		hi := lo + blockSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if hi-lo < blockSize/2 && count > 0 {
+			break
+		}
+		block := &data.Dataset{Examples: ds.Examples[lo:hi]}
+		m := ml.NewMLP(ml.Regression, dim, taxiHidden, rng.New(seed))
+		ml.TrainSGD(m, block, ml.SGDConfig{
+			LearningRate: 0.01, Momentum: 0.9, Epochs: 3, BatchSize: 1024,
+			DP: true, ClipNorm: 1,
+			Budget: privacy.Budget{Epsilon: eps, Delta: delta},
+		}, r)
+		if avg == nil {
+			avg = make([]float64, len(m.Params()))
+			ref = m
+		}
+		linalg.AXPY(1, m.Params(), avg)
+		count++
+	}
+	if ref == nil {
+		return ml.NewMLP(ml.Regression, dim, taxiHidden, rng.New(seed))
+	}
+	linalg.Scale(1/float64(count), avg)
+	copy(ref.Params(), avg)
+	return ref
+}
+
+// Fig7Quality regenerates the training-quality panels (7a, 7c).
+func Fig7Quality(o Fig7Options) []Fig7QualityPoint {
+	o.fill()
+	maxN := o.Sizes[len(o.Sizes)-1]
+	stream := Dataset(TaxiRegression, maxN, o.Seed)
+	holdout := Dataset(TaxiRegression, o.Holdout, o.Seed+1)
+	const eps, delta = 1.0, 1e-6
+	var out []Fig7QualityPoint
+
+	for _, n := range o.Sizes {
+		train := stream.Head(n)
+		r := rng.New(o.Seed + uint64(n))
+		// LR, block composition: one AdaSSP run over the whole set.
+		m := ml.TrainAdaSSP(train, ml.AdaSSPConfig{
+			Budget: privacy.Budget{Epsilon: eps, Delta: delta},
+			Rho:    0.1, FeatureBound: 2.5, LabelBound: 1,
+		}, r)
+		out = append(out, Fig7QualityPoint{
+			Model: "LR", Mode: "Block Comp.", N: n, MSE: ml.MSE(m, holdout),
+		})
+		// LR, query composition at each block size.
+		for _, bs := range o.LRBlockSizes {
+			qm := trainLRBlockwise(train, bs, eps, delta, rng.New(o.Seed+uint64(n+bs)))
+			out = append(out, Fig7QualityPoint{
+				Model: "LR", Mode: fmt.Sprintf("Query Comp. %s", human(bs)),
+				N: n, MSE: ml.MSE(qm, holdout), BlockSize: bs,
+			})
+		}
+	}
+	if !o.SkipNN {
+		for _, n := range o.Sizes {
+			train := stream.Head(n)
+			nn := ml.NewMLP(ml.Regression, stream.FeatureDim(), taxiHidden, rng.New(o.Seed+7))
+			ml.TrainSGD(nn, train, ml.SGDConfig{
+				LearningRate: 0.01, Momentum: 0.9, Epochs: 3, BatchSize: 1024,
+				DP: true, ClipNorm: 1,
+				Budget: privacy.Budget{Epsilon: eps, Delta: delta},
+			}, rng.New(o.Seed+uint64(n)+3))
+			out = append(out, Fig7QualityPoint{
+				Model: "NN", Mode: "Block Comp.", N: n, MSE: ml.MSE(nn, holdout),
+			})
+			qm := trainNNBlockwise(train, o.NNBlockSize, eps, delta,
+				stream.FeatureDim(), o.Seed+7, rng.New(o.Seed+uint64(n)+4))
+			out = append(out, Fig7QualityPoint{
+				Model: "NN", Mode: fmt.Sprintf("Query Comp. %s", human(o.NNBlockSize)),
+				N: n, MSE: ml.MSE(qm, holdout), BlockSize: o.NNBlockSize,
+			})
+		}
+	}
+	return out
+}
+
+// queryCompAccept reports whether a query-composition SLAed validation
+// at the given target would ACCEPT with n test samples split into
+// blocks of size bs: every block contributes its own noisy loss sum and
+// count, so the DP corrections and the noise all scale with the number
+// of blocks (union bound over per-block tail events).
+func queryCompAccept(trueLoss float64, n, bs int, target, epsilon, eta float64, r *rng.RNG) bool {
+	nBlocks := (n + bs - 1) / bs
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	countMech := privacy.LaplaceMechanism{Sensitivity: 1, Epsilon: epsilon / 2}
+	sumMech := privacy.LaplaceMechanism{Sensitivity: 1, Epsilon: epsilon / 2}
+	etaShare := eta / 3 / float64(nBlocks) // union bound across blocks
+	noisyN, noisySum := 0.0, 0.0
+	for b := 0; b < nBlocks; b++ {
+		sz := bs
+		if b == nBlocks-1 {
+			sz = n - bs*(nBlocks-1)
+		}
+		noisyN += countMech.Release(float64(sz), r)
+		noisySum += sumMech.Release(trueLoss*float64(sz), r)
+	}
+	noisyN -= float64(nBlocks) * countMech.TailBound(etaShare)
+	noisySum += float64(nBlocks) * sumMech.TailBound(etaShare)
+	if noisyN <= 1 {
+		return false
+	}
+	mean := noisySum / noisyN
+	if mean < 0 {
+		mean = 0
+	}
+	return validation.BernsteinUpperBound(mean, noisyN, eta/3, 1) <= target
+}
+
+// Fig7Accept regenerates the validation sample-complexity panels
+// (7b, 7d): the test-set size required to ACCEPT at each target, for
+// block composition (one noise draw) vs query composition (per-block
+// noise). The model's true loss is measured once per training size from
+// the block-composition LR of Fig7Quality.
+func Fig7Accept(o Fig7Options) []Fig7AcceptPoint {
+	o.fill()
+	const eps, eta = 0.5, 0.05
+	var out []Fig7AcceptPoint
+	stream := Dataset(TaxiRegression, o.MaxStream, o.Seed+5)
+	holdout := Dataset(TaxiRegression, o.Holdout, o.Seed+6)
+	// Train the best affordable LR once on the full stream to get the
+	// loss profile being validated.
+	m := ml.TrainAdaSSP(stream, ml.AdaSSPConfig{
+		Budget: privacy.Budget{Epsilon: 0.5, Delta: 1e-6},
+		Rho:    0.1, FeatureBound: 2.5, LabelBound: 1,
+	}, rng.New(o.Seed+8))
+	trueLoss := ml.MSE(m, holdout)
+
+	modes := []struct {
+		name string
+		bs   int // 0 = combined (block composition)
+	}{{"Block Comp.", 0}}
+	for _, bs := range o.LRBlockSizes {
+		modes = append(modes, struct {
+			name string
+			bs   int
+		}{fmt.Sprintf("Query Comp. %s", human(bs)), bs})
+	}
+
+	for _, target := range o.Targets {
+		for _, mode := range modes {
+			accepted := false
+			samples := o.MaxStream + 1
+			for n := 10000; n <= o.MaxStream; n *= 2 {
+				r := rng.New(o.Seed + uint64(n) + uint64(mode.bs))
+				var ok bool
+				if mode.bs == 0 {
+					ok = queryCompAccept(trueLoss, n, n, target, eps, eta, r)
+				} else {
+					ok = queryCompAccept(trueLoss, n, mode.bs, target, eps, eta, r)
+				}
+				if ok {
+					accepted = true
+					samples = n
+					break
+				}
+			}
+			out = append(out, Fig7AcceptPoint{
+				Model: "LR", Mode: mode.name, Target: target,
+				Samples: samples, Accepted: accepted, BlockSize: mode.bs,
+			})
+		}
+	}
+	return out
+}
+
+// human formats sample counts like the paper's axis labels.
+func human(n int) string {
+	switch {
+	case n >= 1000000 && n%1000000 == 0:
+		return fmt.Sprintf("%dM", n/1000000)
+	case n >= 1000:
+		return fmt.Sprintf("%dK", int(math.Round(float64(n)/1000)))
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// PrintFig7 renders both panel groups.
+func PrintFig7(w io.Writer, quality []Fig7QualityPoint, accepts []Fig7AcceptPoint) {
+	fmt.Fprintln(w, "Fig. 7. Block-level vs query-level accounting")
+	last := ""
+	for _, p := range quality {
+		panel := "Taxi " + p.Model + " MSE"
+		if panel != last {
+			fmt.Fprintf(w, "-- %s --\n", panel)
+			last = panel
+		}
+		fmt.Fprintf(w, "%-22s n=%-8d mse=%.6f\n", p.Mode, p.N, p.MSE)
+	}
+	fmt.Fprintln(w, "-- Taxi LR ACCEPT sample size --")
+	for _, p := range accepts {
+		n := fmt.Sprintf("%d", p.Samples)
+		if !p.Accepted {
+			n = "∞"
+		}
+		fmt.Fprintf(w, "%-22s target=%-8.4g samples=%s\n", p.Mode, p.Target, n)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// Fig8Options scales the workload experiment.
+type Fig8Options struct {
+	// TaxiRates and CriteoRates are the arrival-rate sweeps (Fig. 8's
+	// x-axes; defaults 0.1…0.7 and 0.1…0.9).
+	TaxiRates   []float64
+	CriteoRates []float64
+	// Hours is the simulation horizon per point (default 1000).
+	Hours int
+	Seed  uint64
+}
+
+func (o *Fig8Options) fill() {
+	if len(o.TaxiRates) == 0 {
+		o.TaxiRates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	}
+	if len(o.CriteoRates) == 0 {
+		o.CriteoRates = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	if o.Hours == 0 {
+		o.Hours = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 5
+	}
+}
+
+// Fig8Result holds both panels.
+type Fig8Result struct {
+	Taxi   []workload.SweepPoint
+	Criteo []workload.SweepPoint
+}
+
+// Fig8 regenerates the average-model-release-time-under-load figure:
+// the four strategies swept over arrival rates, with hourly blocks of
+// ~16K points (Taxi) and ~267K points (Criteo), under a global
+// (εg, δg) = (1.0, 1e-6) guarantee.
+func Fig8(o Fig8Options) Fig8Result {
+	o.fill()
+	strategies := []workload.Strategy{
+		workload.StreamingComposition,
+		workload.QueryComposition,
+		workload.BlockAggressive,
+		workload.BlockConserve,
+	}
+	taxiBase := workload.Config{
+		EpsG: 1.0, BlockSize: 16000, Hours: o.Hours, Seed: o.Seed,
+	}
+	criteoBase := workload.Config{
+		EpsG: 1.0, BlockSize: 267000, Hours: o.Hours, Seed: o.Seed + 1,
+	}
+	return Fig8Result{
+		Taxi:   workload.Sweep(taxiBase, o.TaxiRates, strategies),
+		Criteo: workload.Sweep(criteoBase, o.CriteoRates, strategies),
+	}
+}
+
+// PrintFig8 renders both panels.
+func PrintFig8(w io.Writer, res Fig8Result) {
+	fmt.Fprintln(w, "Fig. 8. Average model release time under load (hours)")
+	panels := []struct {
+		name string
+		pts  []workload.SweepPoint
+	}{{"Taxi (16K/h blocks)", res.Taxi}, {"Criteo (267K/h blocks)", res.Criteo}}
+	for _, panel := range panels {
+		fmt.Fprintf(w, "-- %s --\n", panel.name)
+		for _, p := range panel.pts {
+			fmt.Fprintf(w, "rate=%.2f %-24s release=%7.1fh released=%d/%d ε/model=%.3f\n",
+				p.Rate, p.Strategy, p.Stats.AvgReleaseTime,
+				p.Stats.Released, p.Stats.Arrived, p.Stats.AvgBudgetSpent)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package linalg provides the small dense linear-algebra kernel the ML
+// substrate needs: vectors, symmetric matrices, Cholesky solves for ridge
+// regression (AdaSSP), and power iteration for extreme eigenvalues.
+// Everything is stdlib-only and deterministic.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// AXPY computes y += alpha·x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		out[i] = Dot(row, x)
+	}
+	return out
+}
+
+// AddDiagonal adds lambda to every diagonal element in place.
+func (m *Matrix) AddDiagonal(lambda float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += lambda
+	}
+}
+
+// Symmetrize replaces m with (m + mᵀ)/2. Used after adding independent
+// noise to the entries of a Gram matrix so the perturbed matrix remains
+// symmetric (AdaSSP releases a symmetric noise matrix).
+func (m *Matrix) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("linalg: Symmetrize requires a square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// Gram accumulates xᵀx into m (outer product of the row vector x),
+// i.e. m += x·xᵀ. m must be square with dimension len(x).
+func (m *Matrix) Gram(x []float64) {
+	if m.Rows != len(x) || m.Cols != len(x) {
+		panic("linalg: Gram dimension mismatch")
+	}
+	for i := range x {
+		base := i * m.Cols
+		for j := range x {
+			m.Data[base+j] += x[i] * x[j]
+		}
+	}
+}
+
+// Cholesky computes the lower-triangular L with m = L·Lᵀ for a symmetric
+// positive-definite matrix. It returns false if the matrix is not
+// positive definite (within a small tolerance).
+func Cholesky(m *Matrix) (*Matrix, bool) {
+	if m.Rows != m.Cols {
+		panic("linalg: Cholesky requires a square matrix")
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		sum := m.At(j, j)
+		for k := 0; k < j; k++ {
+			sum -= l.At(j, k) * l.At(j, k)
+		}
+		if sum <= 1e-14 {
+			return nil, false
+		}
+		diag := math.Sqrt(sum)
+		l.Set(j, j, diag)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/diag)
+		}
+	}
+	return l, true
+}
+
+// SolveCholesky solves m·x = b via the Cholesky factor L (forward then
+// backward substitution).
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveCholesky dimension mismatch")
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves m·x = b for symmetric positive-definite m, adding
+// progressively larger ridge terms if m is singular. It panics only if
+// the system remains unsolvable after heavy regularization.
+func SolveSPD(m *Matrix, b []float64) []float64 {
+	ridge := 0.0
+	for attempt := 0; attempt < 12; attempt++ {
+		work := m.Clone()
+		if ridge > 0 {
+			work.AddDiagonal(ridge)
+		}
+		if l, ok := Cholesky(work); ok {
+			return SolveCholesky(l, b)
+		}
+		if ridge == 0 {
+			ridge = 1e-10
+		} else {
+			ridge *= 100
+		}
+	}
+	panic("linalg: SolveSPD failed even with heavy regularization")
+}
+
+// MaxEigen estimates the largest eigenvalue of a symmetric matrix via
+// power iteration. iters=100 is ample for the well-separated Gram
+// matrices AdaSSP sees.
+func MaxEigen(m *Matrix, iters int) float64 {
+	if m.Rows != m.Cols {
+		panic("linalg: MaxEigen requires a square matrix")
+	}
+	n := m.Rows
+	if n == 0 {
+		return 0
+	}
+	v := make([]float64, n)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = 1 / math.Sqrt(float64(n)) * (1 + 0.01*float64(i%7))
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		w := m.MulVec(v)
+		norm := Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		Scale(1/norm, w)
+		lambda = Dot(w, m.MulVec(w))
+		v = w
+	}
+	return lambda
+}
+
+// MinEigen estimates the smallest eigenvalue of a symmetric
+// positive-semidefinite matrix via power iteration on (c·I − m) where c
+// upper-bounds the spectrum. AdaSSP needs λ_min(XᵀX) for its adaptive
+// regularization.
+func MinEigen(m *Matrix, iters int) float64 {
+	c := MaxEigen(m, iters) * 1.01
+	if c == 0 {
+		return 0
+	}
+	shifted := m.Clone()
+	Scale(-1, shifted.Data)
+	shifted.AddDiagonal(c)
+	mu := MaxEigen(shifted, iters)
+	min := c - mu
+	if min < 0 {
+		return 0
+	}
+	return min
+}

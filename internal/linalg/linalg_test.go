@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAndNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestAXPYScale(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Errorf("Scale = %v", y)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Errorf("At = %v", m.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 1, 0)
+	if m.At(0, 1) != 7 {
+		t.Error("Clone aliases original")
+	}
+	got := m.MulVec([]float64{1, 2, 3})
+	if got[0] != 14 || got[1] != 0 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestGram(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Gram([]float64{1, 2})
+	m.Gram([]float64{3, 4})
+	// XᵀX for X = [[1,2],[3,4]] = [[10,14],[14,20]].
+	want := [][]float64{{10, 14}, {14, 20}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("Gram[%d][%d] = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 4)
+	m.Set(1, 0, 2)
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Errorf("Symmetrize: %v %v", m.At(0, 1), m.At(1, 0))
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// SPD system: [[4,2],[2,3]]·x = [1, 2] → x = [-1/8, 3/4].
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 4)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 3)
+	l, ok := Cholesky(m)
+	if !ok {
+		t.Fatal("Cholesky failed on SPD matrix")
+	}
+	x := SolveCholesky(l, []float64{1, 2})
+	if math.Abs(x[0]+0.125) > 1e-12 || math.Abs(x[1]-0.75) > 1e-12 {
+		t.Errorf("solution = %v", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, -1)
+	if _, ok := Cholesky(m); ok {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSolveSPDRegularizesSingular(t *testing.T) {
+	// Rank-deficient matrix; SolveSPD should still return something
+	// finite via ridge escalation.
+	m := NewMatrix(2, 2)
+	m.Gram([]float64{1, 1})
+	x := SolveSPD(m, []float64{2, 2})
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("solution = %v", x)
+		}
+	}
+}
+
+func TestEigenExtremes(t *testing.T) {
+	// diag(5, 2, 0.5): λmax = 5, λmin = 0.5.
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 5)
+	m.Set(1, 1, 2)
+	m.Set(2, 2, 0.5)
+	if got := MaxEigen(m, 200); math.Abs(got-5) > 1e-6 {
+		t.Errorf("MaxEigen = %v, want 5", got)
+	}
+	if got := MinEigen(m, 200); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("MinEigen = %v, want 0.5", got)
+	}
+}
+
+func TestEigenNonDiagonal(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	if got := MaxEigen(m, 200); math.Abs(got-3) > 1e-6 {
+		t.Errorf("MaxEigen = %v, want 3", got)
+	}
+	if got := MinEigen(m, 200); math.Abs(got-1) > 1e-3 {
+		t.Errorf("MinEigen = %v, want 1", got)
+	}
+}
+
+// Property: Cholesky solve inverts multiplication for random SPD systems
+// built as Gram matrices plus a ridge.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		const d = 3
+		if len(raw) < d*d+d {
+			return true
+		}
+		g := NewMatrix(d, d)
+		for r := 0; r < d; r++ {
+			row := make([]float64, d)
+			for c := 0; c < d; c++ {
+				row[c] = float64(raw[r*d+c]) / 32
+			}
+			g.Gram(row)
+		}
+		g.AddDiagonal(0.5) // ensure SPD
+		x := make([]float64, d)
+		for i := 0; i < d; i++ {
+			x[i] = float64(raw[d*d+i]) / 32
+		}
+		b := g.MulVec(x)
+		got := SolveSPD(g, b)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxEigen dominates the Rayleigh quotient of any probe vector.
+func TestMaxEigenDominatesProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		const d = 3
+		if len(raw) < d*d+d {
+			return true
+		}
+		g := NewMatrix(d, d)
+		for r := 0; r < d; r++ {
+			row := make([]float64, d)
+			for c := 0; c < d; c++ {
+				row[c] = float64(raw[r*d+c]) / 32
+			}
+			g.Gram(row)
+		}
+		v := make([]float64, d)
+		norm := 0.0
+		for i := 0; i < d; i++ {
+			v[i] = float64(raw[d*d+i])/32 + 0.01
+			norm += v[i] * v[i]
+		}
+		if norm == 0 {
+			return true
+		}
+		rayleigh := Dot(v, g.MulVec(v)) / norm
+		return MaxEigen(g, 300) >= rayleigh-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// LinearModel is an affine predictor w·x + b. The bias is modelled as an
+// extra constant feature internally.
+type LinearModel struct {
+	Weights []float64 // length = feature dim
+	Bias    float64
+}
+
+// Predict implements Model.
+func (m *LinearModel) Predict(x []float64) float64 {
+	return linalg.Dot(m.Weights, x) + m.Bias
+}
+
+// RidgeConfig configures non-private closed-form ridge regression, the
+// "LR NP" baseline of Fig. 5.
+type RidgeConfig struct {
+	Lambda float64 // L2 regularization strength
+}
+
+// TrainRidge solves (XᵀX + λI)w = Xᵀy exactly. Features are augmented
+// with a constant 1 for the bias term.
+func TrainRidge(ds *data.Dataset, cfg RidgeConfig) *LinearModel {
+	d := ds.FeatureDim()
+	aug := d + 1
+	xtx := linalg.NewMatrix(aug, aug)
+	xty := make([]float64, aug)
+	row := make([]float64, aug)
+	for _, ex := range ds.Examples {
+		copy(row, ex.Features)
+		row[d] = 1
+		xtx.Gram(row)
+		linalg.AXPY(ex.Label, row, xty)
+	}
+	xtx.AddDiagonal(cfg.Lambda + 1e-9)
+	w := linalg.SolveSPD(xtx, xty)
+	return &LinearModel{Weights: w[:d], Bias: w[d]}
+}
+
+// AdaSSPConfig configures the AdaSSP differentially private linear
+// regression of Wang (2018), the paper's "LR" pipeline (Table 1: AdaSSP
+// with ρ = 0.1).
+type AdaSSPConfig struct {
+	Budget privacy.Budget
+	// Rho is the failure probability of the adaptive regularization
+	// bound (paper's ρ = 0.1).
+	Rho float64
+	// FeatureBound is an upper bound on the L2 norm of any feature
+	// vector (after the internal 1-augmentation). Vectors beyond the
+	// bound are clipped — this is what bounds the query sensitivity.
+	FeatureBound float64
+	// LabelBound is an upper bound on |label|; labels are clipped to it.
+	LabelBound float64
+}
+
+// TrainAdaSSP trains a DP linear regression with the AdaSSP mechanism:
+// it privately releases λ_min(XᵀX), XᵀX and Xᵀy with a third of the
+// budget each (Gaussian mechanism), picks an adaptive ridge parameter
+// from the noisy λ_min, and solves the perturbed normal equations.
+func TrainAdaSSP(ds *data.Dataset, cfg AdaSSPConfig, r *rng.RNG) *LinearModel {
+	if cfg.Budget.Epsilon <= 0 || cfg.Budget.Delta <= 0 {
+		panic("ml: AdaSSP requires ε > 0 and δ > 0")
+	}
+	if cfg.Rho <= 0 || cfg.Rho >= 1 {
+		panic("ml: AdaSSP requires ρ in (0,1)")
+	}
+	if cfg.FeatureBound <= 0 || cfg.LabelBound <= 0 {
+		panic("ml: AdaSSP requires positive bounds")
+	}
+	d := ds.FeatureDim()
+	aug := d + 1
+	// Scale features and labels into unit balls so sensitivities are 1.
+	fscale := 1 / cfg.FeatureBound
+	lscale := 1 / cfg.LabelBound
+
+	xtx := linalg.NewMatrix(aug, aug)
+	xty := make([]float64, aug)
+	row := make([]float64, aug)
+	for _, ex := range ds.Examples {
+		for i, v := range ex.Features {
+			row[i] = v * fscale
+		}
+		row[d] = fscale // constant feature, also scaled to stay in the ball
+		privacy.ClipL2(row, 1)
+		y := privacy.Clip(ex.Label*lscale, -1, 1)
+		xtx.Gram(row)
+		linalg.AXPY(y, row, xty)
+	}
+
+	eps3 := cfg.Budget.Epsilon / 3
+	logTerm := math.Log(6 / cfg.Budget.Delta)
+	sigma := math.Sqrt(logTerm) / eps3 // Gaussian scale for sensitivity-1 queries
+
+	// (1) Noisy minimum eigenvalue, shifted down to be a lower bound
+	// with high probability.
+	lambdaMin := linalg.MinEigen(xtx, 200)
+	lambdaMinDP := lambdaMin + r.Normal(0, sigma) - logTerm/eps3
+	if lambdaMinDP < 0 {
+		lambdaMinDP = 0
+	}
+
+	// (2) Adaptive ridge: enough regularization to make the noisy Gram
+	// matrix comfortably invertible, but no more than needed.
+	lambda := math.Sqrt(float64(aug)*logTerm*math.Log(2*float64(aug*aug)/cfg.Rho))/eps3 - lambdaMinDP
+	if lambda < 0 {
+		lambda = 0
+	}
+
+	// (3) Noisy sufficient statistics. The Gram noise matrix must be
+	// symmetric: draw the upper triangle and mirror.
+	for i := 0; i < aug; i++ {
+		for j := i; j < aug; j++ {
+			n := r.Normal(0, sigma)
+			xtx.Add(i, j, n)
+			if i != j {
+				xtx.Add(j, i, n)
+			}
+		}
+	}
+	for i := range xty {
+		xty[i] += r.Normal(0, sigma)
+	}
+
+	xtx.AddDiagonal(lambda + 1e-9)
+	w := linalg.SolveSPD(xtx, xty)
+
+	// Undo the scaling: prediction = (w_scaled · x·fscale + b_scaled·fscale)/lscale.
+	weights := make([]float64, d)
+	for i := range weights {
+		weights[i] = w[i] * fscale / lscale
+	}
+	bias := w[d] * fscale / lscale
+	return &LinearModel{Weights: weights, Bias: bias}
+}
+
+// Cost returns the (ε, δ) privacy cost of one AdaSSP training run: the
+// full configured budget (the three sub-releases compose to it).
+func (cfg AdaSSPConfig) Cost() privacy.Budget { return cfg.Budget }

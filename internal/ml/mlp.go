@@ -1,0 +1,173 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// OutputKind selects the MLP's head: identity + squared loss for
+// regression (Taxi NN) or sigmoid + log loss for classification
+// (Criteo NN).
+type OutputKind int
+
+const (
+	// Regression uses an identity output and squared loss.
+	Regression OutputKind = iota
+	// BinaryClassification uses a sigmoid output and log loss.
+	BinaryClassification
+)
+
+// MLP is a fully connected multi-layer perceptron with ReLU hidden
+// activations, the paper's "NN" pipelines (Table 1: ReLU, 2 hidden
+// layers). Parameters are stored flat so the generic (DP-)SGD trainer can
+// clip and noise whole-model gradients.
+type MLP struct {
+	kind   OutputKind
+	sizes  []int // layer widths: input, hidden..., 1
+	params []float64
+	// offsets[l] is the start of layer l's W then b in params.
+	offsets []int
+	// scratch buffers reused across calls (single-goroutine use).
+	acts []([]float64) // activations per layer
+	zs   []([]float64) // pre-activations per layer
+	errs []([]float64) // back-propagated deltas
+}
+
+// NewMLP returns an MLP with the given input dimension and hidden layer
+// widths, e.g. NewMLP(Regression, 61, []int{64, 32}, r). Weights use He
+// initialization; biases start at zero.
+func NewMLP(kind OutputKind, inputDim int, hidden []int, r *rng.RNG) *MLP {
+	if inputDim <= 0 {
+		panic("ml: MLP requires inputDim > 0")
+	}
+	sizes := append([]int{inputDim}, hidden...)
+	sizes = append(sizes, 1)
+	total := 0
+	offsets := make([]int, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		offsets[l] = total
+		total += sizes[l]*sizes[l+1] + sizes[l+1]
+	}
+	params := make([]float64, total)
+	for l := 0; l < len(sizes)-1; l++ {
+		std := math.Sqrt(2 / float64(sizes[l]))
+		w := params[offsets[l] : offsets[l]+sizes[l]*sizes[l+1]]
+		for i := range w {
+			w[i] = r.Normal(0, std)
+		}
+	}
+	m := &MLP{kind: kind, sizes: sizes, params: params, offsets: offsets}
+	m.acts = make([][]float64, len(sizes))
+	m.zs = make([][]float64, len(sizes))
+	m.errs = make([][]float64, len(sizes))
+	for i, s := range sizes {
+		m.acts[i] = make([]float64, s)
+		m.zs[i] = make([]float64, s)
+		m.errs[i] = make([]float64, s)
+	}
+	return m
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int { return len(m.params) }
+
+// Kind returns the output head kind.
+func (m *MLP) Kind() OutputKind { return m.kind }
+
+// InputDim returns the input dimensionality.
+func (m *MLP) InputDim() int { return m.sizes[0] }
+
+// Hidden returns a copy of the hidden layer widths.
+func (m *MLP) Hidden() []int {
+	return append([]int{}, m.sizes[1:len(m.sizes)-1]...)
+}
+
+// Params implements GradModel.
+func (m *MLP) Params() []float64 { return m.params }
+
+// layer returns the weight (out×in, row-major by output unit) and bias
+// slices of layer l.
+func (m *MLP) layer(l int) (w, b []float64) {
+	in, out := m.sizes[l], m.sizes[l+1]
+	start := m.offsets[l]
+	return m.params[start : start+in*out], m.params[start+in*out : start+in*out+out]
+}
+
+// forward runs the network, filling the activation buffers, and returns
+// the raw output (pre-head).
+func (m *MLP) forward(x []float64) float64 {
+	copy(m.acts[0], x)
+	layers := len(m.sizes) - 1
+	for l := 0; l < layers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w, b := m.layer(l)
+		src := m.acts[l]
+		for j := 0; j < out; j++ {
+			sum := b[j]
+			row := w[j*in : (j+1)*in]
+			for i := 0; i < in; i++ {
+				sum += row[i] * src[i]
+			}
+			m.zs[l+1][j] = sum
+			if l < layers-1 {
+				if sum < 0 {
+					sum = 0 // ReLU
+				}
+			}
+			m.acts[l+1][j] = sum
+		}
+	}
+	return m.zs[layers][0]
+}
+
+// Predict implements Model: the regression head returns the raw output,
+// the classification head a sigmoid probability.
+func (m *MLP) Predict(x []float64) float64 {
+	z := m.forward(x)
+	if m.kind == BinaryClassification {
+		return Sigmoid(z)
+	}
+	return z
+}
+
+// Grad implements GradModel via backpropagation. For both heads the
+// output delta is (prediction − label): squared loss (halved) with
+// identity output and log loss with sigmoid output share this form.
+func (m *MLP) Grad(x []float64, y float64, out []float64) {
+	z := m.forward(x)
+	pred := z
+	if m.kind == BinaryClassification {
+		pred = Sigmoid(z)
+	}
+	layers := len(m.sizes) - 1
+	m.errs[layers][0] = pred - y
+	// Backpropagate deltas through ReLU layers.
+	for l := layers - 1; l >= 1; l-- {
+		in, outn := m.sizes[l], m.sizes[l+1]
+		w, _ := m.layer(l)
+		for i := 0; i < in; i++ {
+			sum := 0.0
+			for j := 0; j < outn; j++ {
+				sum += w[j*in+i] * m.errs[l+1][j]
+			}
+			if m.zs[l][i] <= 0 {
+				sum = 0 // ReLU derivative
+			}
+			m.errs[l][i] = sum
+		}
+	}
+	// Write gradients: dW[j][i] = delta[j]·act[i], db[j] = delta[j].
+	for l := 0; l < layers; l++ {
+		in, outn := m.sizes[l], m.sizes[l+1]
+		start := m.offsets[l]
+		for j := 0; j < outn; j++ {
+			d := m.errs[l+1][j]
+			base := start + j*in
+			for i := 0; i < in; i++ {
+				out[base+i] = d * m.acts[l][i]
+			}
+			out[start+in*outn+j] = d
+		}
+	}
+}

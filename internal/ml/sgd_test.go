@@ -1,0 +1,175 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+func TestSGDLinearRegressionConverges(t *testing.T) {
+	r := rng.New(1)
+	w := []float64{0.6, -0.4}
+	ds := synthLinear(20000, 2, w, 0.2, 0.02, r)
+	m := NewSGDLinearRegression(2)
+	TrainSGD(m, ds, SGDConfig{LearningRate: 0.05, Momentum: 0.9, Epochs: 5, BatchSize: 128}, rng.New(2))
+	holdout := synthLinear(2000, 2, w, 0.2, 0.02, r)
+	if mse := MSE(m, holdout); mse > 0.001 {
+		t.Errorf("holdout MSE = %v, want < 0.001", mse)
+	}
+}
+
+func TestLogisticRegressionLearns(t *testing.T) {
+	r := rng.New(3)
+	w := []float64{3, -2}
+	ds := synthLogistic(20000, 2, w, 0.5, r)
+	m := NewLogisticRegression(2)
+	TrainSGD(m, ds, SGDConfig{LearningRate: 0.2, Epochs: 5, BatchSize: 128}, rng.New(4))
+	holdout := synthLogistic(5000, 2, w, 0.5, r)
+	acc := Accuracy(m, holdout)
+	naive := Accuracy(NaiveMajorityModel(holdout), holdout)
+	if acc <= naive+0.05 {
+		t.Errorf("accuracy %v not better than naive %v", acc, naive)
+	}
+	// Bayes-optimal accuracy for this model is bounded; just check sane.
+	if acc < 0.7 {
+		t.Errorf("accuracy %v too low", acc)
+	}
+}
+
+func TestDPSGDLargeEpsilonMatchesNonPrivate(t *testing.T) {
+	r := rng.New(5)
+	w := []float64{0.5, -0.5}
+	ds := synthLinear(20000, 2, w, 0.1, 0.02, r)
+	holdout := synthLinear(2000, 2, w, 0.1, 0.02, r)
+
+	np := NewSGDLinearRegression(2)
+	TrainSGD(np, ds, SGDConfig{LearningRate: 0.05, Epochs: 3, BatchSize: 256}, rng.New(6))
+
+	dp := NewSGDLinearRegression(2)
+	TrainSGD(dp, ds, SGDConfig{
+		LearningRate: 0.05, Epochs: 3, BatchSize: 256,
+		DP: true, ClipNorm: 2, Budget: privacy.MustBudget(50, 1e-6),
+	}, rng.New(7))
+
+	mseNP, mseDP := MSE(np, holdout), MSE(dp, holdout)
+	if mseDP > mseNP*3+0.002 {
+		t.Errorf("DP (ε=50) MSE %v far above NP MSE %v", mseDP, mseNP)
+	}
+}
+
+func TestDPSGDSmallEpsilonWorse(t *testing.T) {
+	r := rng.New(8)
+	w := []float64{0.5, -0.5}
+	ds := synthLinear(5000, 2, w, 0.1, 0.02, r)
+	holdout := synthLinear(2000, 2, w, 0.1, 0.02, r)
+	run := func(eps float64, seed uint64) float64 {
+		m := NewSGDLinearRegression(2)
+		TrainSGD(m, ds, SGDConfig{
+			LearningRate: 0.05, Epochs: 3, BatchSize: 256,
+			DP: true, ClipNorm: 2, Budget: privacy.MustBudget(eps, 1e-6),
+		}, rng.New(seed))
+		return MSE(m, holdout)
+	}
+	avg := func(eps float64) float64 {
+		s := 0.0
+		for i := 0; i < 5; i++ {
+			s += run(eps, uint64(10+i))
+		}
+		return s / 5
+	}
+	if loose, tight := avg(10), avg(0.1); tight <= loose {
+		t.Errorf("ε=0.1 MSE %v should exceed ε=10 MSE %v", tight, loose)
+	}
+}
+
+func TestSGDConfigValidation(t *testing.T) {
+	ds := synthLinear(10, 1, []float64{1}, 0, 0, rng.New(9))
+	bad := []SGDConfig{
+		{LearningRate: 0, Epochs: 1, BatchSize: 1},
+		{LearningRate: 0.1, Epochs: 0, BatchSize: 1},
+		{LearningRate: 0.1, Epochs: 1, BatchSize: 0},
+		{LearningRate: 0.1, Epochs: 1, BatchSize: 1, Momentum: 1},
+		{LearningRate: 0.1, Epochs: 1, BatchSize: 1, DP: true, ClipNorm: 0, Budget: privacy.MustBudget(1, 1e-6)},
+		{LearningRate: 0.1, Epochs: 1, BatchSize: 1, DP: true, ClipNorm: 1, Budget: privacy.MustBudget(1, 0)},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic", i)
+				}
+			}()
+			TrainSGD(NewSGDLinearRegression(1), ds, cfg, rng.New(0))
+		}()
+	}
+}
+
+func TestSGDCost(t *testing.T) {
+	np := SGDConfig{LearningRate: 0.1, Epochs: 1, BatchSize: 1}
+	if !np.Cost().IsZero() {
+		t.Error("non-DP cost should be zero")
+	}
+	dp := SGDConfig{DP: true, Budget: privacy.MustBudget(0.5, 1e-7)}
+	if c := dp.Cost(); c.Epsilon != 0.5 || c.Delta != 1e-7 {
+		t.Errorf("DP cost = %v", c)
+	}
+}
+
+func TestSGDEmptyDataset(t *testing.T) {
+	m := NewSGDLinearRegression(2)
+	before := append([]float64{}, m.Params()...)
+	TrainSGD(m, &data.Dataset{}, SGDConfig{LearningRate: 0.1, Epochs: 1, BatchSize: 4}, rng.New(1))
+	for i := range before {
+		if m.Params()[i] != before[i] {
+			t.Fatal("training on empty data changed parameters")
+		}
+	}
+}
+
+func TestSGDDeterminism(t *testing.T) {
+	r := rng.New(20)
+	ds := synthLinear(1000, 2, []float64{1, -1}, 0, 0.05, r)
+	train := func(seed uint64) []float64 {
+		m := NewSGDLinearRegression(2)
+		TrainSGD(m, ds, SGDConfig{
+			LearningRate: 0.05, Epochs: 2, BatchSize: 64,
+			DP: true, ClipNorm: 1, Budget: privacy.MustBudget(1, 1e-6),
+		}, rng.New(seed))
+		return append([]float64{}, m.Params()...)
+	}
+	a, b := train(42), train(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed DP-SGD runs diverged")
+		}
+	}
+	c := train(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different-seed DP-SGD runs identical")
+	}
+}
+
+func TestNoiseMultiplierScalesWithBudget(t *testing.T) {
+	cfg := func(eps float64) SGDConfig {
+		return SGDConfig{
+			LearningRate: 0.1, Epochs: 3, BatchSize: 512,
+			DP: true, ClipNorm: 1, Budget: privacy.MustBudget(eps, 1e-6),
+		}
+	}
+	s1 := cfg(1).NoiseMultiplier(50000)
+	s2 := cfg(0.25).NoiseMultiplier(50000)
+	if s2 <= s1 {
+		t.Errorf("smaller ε should need more noise: σ(0.25)=%v vs σ(1)=%v", s2, s1)
+	}
+	if nd := (SGDConfig{LearningRate: 0.1, Epochs: 1, BatchSize: 1}).NoiseMultiplier(100); nd != 0 {
+		t.Errorf("non-DP noise multiplier = %v", nd)
+	}
+}

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/taxi"
+	"repro/internal/validation"
+)
+
+// avgSpeedPipeline is Table 1's Avg.Speed pipeline at hour granularity.
+// Speeds are recovered from the distance and duration of the raw label
+// via a synthetic value function for test purposes.
+func avgSpeedPipeline(target float64) *StatisticsPipeline {
+	return &StatisticsPipeline{
+		Name: "taxi-avg-speed-hour",
+		Kind: GroupMean,
+		Key:  func(ex data.Example) int { return int(ex.Time % 24) },
+		// Use the precomputed speed feature (scaled [0,1] → km/h).
+		Value:      func(ex data.Example) float64 { return ex.Features[1] * 45 },
+		NumKeys:    24,
+		ValueRange: 45,
+		Target:     target,
+		Mode:       validation.ModeSage,
+	}
+}
+
+func TestStatisticsPipelineAccepts(t *testing.T) {
+	ds := taxi.Pipeline(200000, 0, 24*30, 0, 0, 61)
+	p := avgSpeedPipeline(5.0) // ±5 km/h, an easy Table 1 target
+	res, err := p.Run(ds, privacy.MustBudget(0.5, 0), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Accept {
+		t.Fatalf("decision = %v (min group %v)", res.Decision, res.MinGroupSize)
+	}
+	if len(res.Values) != 24 {
+		t.Fatalf("values = %d keys", len(res.Values))
+	}
+	// Rush hour must be slower than night in the DP release.
+	if res.Values[18] >= res.Values[2] {
+		t.Errorf("6pm speed %v not below 2am speed %v", res.Values[18], res.Values[2])
+	}
+	if math.Abs(res.Spent.Epsilon-0.5) > 1e-9 {
+		t.Errorf("spent ε = %v", res.Spent.Epsilon)
+	}
+}
+
+func TestStatisticsPipelineRetriesTightTarget(t *testing.T) {
+	ds := taxi.Pipeline(5000, 0, 24*7, 0, 0, 62)
+	p := avgSpeedPipeline(1.0) // ±1 km/h on tiny data: RETRY
+	res, err := p.Run(ds, privacy.MustBudget(0.5, 0), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Retry {
+		t.Errorf("decision = %v, want RETRY", res.Decision)
+	}
+}
+
+func TestStatisticsPipelineTargetSweep(t *testing.T) {
+	// Table 1's Avg.Speed targets: looser targets accept with less
+	// data. Sweep and check monotonicity of decisions.
+	ds := taxi.Pipeline(60000, 0, 24*14, 0, 0, 63)
+	prevAccepted := true
+	for _, target := range []float64{15, 10, 7.5, 5, 1} {
+		p := avgSpeedPipeline(target)
+		res, err := p.Run(ds, privacy.MustBudget(0.5, 0), rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := res.Decision == validation.Accept
+		if accepted && !prevAccepted {
+			t.Errorf("target %v accepted although a looser target retried", target)
+		}
+		prevAccepted = accepted
+	}
+}
+
+func TestHistogramStatisticsPipeline(t *testing.T) {
+	// Criteo-style Counts pipeline: frequencies of a categorical.
+	ds := &data.Dataset{}
+	gen := rng.New(64)
+	for i := 0; i < 300000; i++ {
+		ds.Append(data.Example{
+			Features: []float64{float64(gen.IntN(4))},
+			Time:     int64(i / 1000),
+		})
+	}
+	p := &StatisticsPipeline{
+		Name:    "counts",
+		Kind:    Frequencies,
+		Key:     func(ex data.Example) int { return int(ex.Features[0]) },
+		NumKeys: 4,
+		Target:  0.05, // Table 1's mid error target
+		Mode:    validation.ModeSage,
+	}
+	res, err := p.Run(ds, privacy.MustBudget(0.5, 0), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != validation.Accept {
+		t.Fatalf("decision = %v", res.Decision)
+	}
+	total := 0.0
+	for _, f := range res.Values {
+		total += f
+		if math.Abs(f-0.25) > 0.05 {
+			t.Errorf("frequency %v, want ~0.25", f)
+		}
+	}
+	if math.Abs(total-1) > 0.05 {
+		t.Errorf("frequencies sum to %v", total)
+	}
+}
+
+func TestStatisticsPipelineValidation(t *testing.T) {
+	ds := taxi.Pipeline(100, 0, 24, 0, 0, 65)
+	bad := []*StatisticsPipeline{
+		{Name: "no-key", NumKeys: 4},
+		{Name: "no-value", Kind: GroupMean, Key: func(data.Example) int { return 0 }, NumKeys: 4},
+	}
+	for _, p := range bad {
+		if _, err := p.Run(ds, privacy.MustBudget(0.5, 0), rng.New(5)); err == nil {
+			t.Errorf("%s should error", p.Name)
+		}
+	}
+	ok := avgSpeedPipeline(5)
+	if _, err := ok.Run(ds, privacy.Budget{Epsilon: -1}, rng.New(6)); err == nil {
+		t.Error("invalid budget should error")
+	}
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/rng"
+	"repro/internal/validation"
+)
+
+// MSEValidator validates regression pipelines against an MSE target
+// using the loss SLAed validator (Listing 2). If ERMTrainer is non-nil
+// it is used to fit the empirical risk minimizer on the training set for
+// the REJECT test (valid for convex classes; leave nil for NNs).
+type MSEValidator struct {
+	// Target is the maximum tolerated MSE (τ_loss).
+	Target float64
+	// B bounds each squared error (labels in [0,1] ⇒ B = 1).
+	B float64
+	// ERMTrainer optionally fits fˆ for REJECT.
+	ERMTrainer Trainer
+}
+
+// Validate implements Validator.
+func (v MSEValidator) Validate(m ml.Model, test, train *data.Dataset, cfg validation.Config, r *rng.RNG) (validation.Decision, float64) {
+	lv := validation.LossValidator{Config: cfg, Target: v.Target, B: v.B}
+	testLosses := squaredLosses(m, test, v.B)
+	var ermLosses []float64
+	if v.ERMTrainer != nil && train != nil && train.Len() > 0 {
+		erm := v.ERMTrainer.Train(train, cfg.Cost(), r)
+		ermLosses = squaredLosses(erm, train, v.B)
+	}
+	decision := lv.Validate(testLosses, ermLosses, r)
+	return decision, ml.MSE(m, test)
+}
+
+// Name implements Validator.
+func (MSEValidator) Name() string { return "mse" }
+
+// squaredLosses returns per-example squared errors clipped to [0, b].
+func squaredLosses(m ml.Model, ds *data.Dataset, b float64) []float64 {
+	out := make([]float64, ds.Len())
+	for i, ex := range ds.Examples {
+		d := m.Predict(ex.Features) - ex.Label
+		l := d * d
+		if l > b {
+			l = b
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// AccuracyValidator validates classification pipelines against an
+// accuracy target using Clopper–Pearson bounds (Appendix B.2). The
+// REJECT test needs the best empirical classifier, which is
+// computationally hard in general; it is skipped (as for the paper's
+// NNs) unless ERMTrainer is provided.
+type AccuracyValidator struct {
+	// Target is the minimum required accuracy (τ_acc).
+	Target float64
+	// ERMTrainer optionally fits an approximate best classifier for
+	// REJECT.
+	ERMTrainer Trainer
+}
+
+// Validate implements Validator.
+func (v AccuracyValidator) Validate(m ml.Model, test, train *data.Dataset, cfg validation.Config, r *rng.RNG) (validation.Decision, float64) {
+	av := validation.AccuracyValidator{Config: cfg, Target: v.Target}
+	correct := countCorrect(m, test)
+	bestCorrect, nTrain := -1, 0
+	if v.ERMTrainer != nil && train != nil && train.Len() > 0 {
+		erm := v.ERMTrainer.Train(train, cfg.Cost(), r)
+		bestCorrect = countCorrect(erm, train)
+		nTrain = train.Len()
+	}
+	decision := av.Validate(correct, test.Len(), bestCorrect, nTrain, r)
+	return decision, ml.Accuracy(m, test)
+}
+
+// Name implements Validator.
+func (AccuracyValidator) Name() string { return "accuracy" }
+
+// countCorrect returns the number of correct thresholded predictions.
+func countCorrect(m ml.Model, ds *data.Dataset) int {
+	correct := 0
+	for _, ex := range ds.Examples {
+		pred := 0.0
+		if m.Predict(ex.Features) >= 0.5 {
+			pred = 1
+		}
+		if pred == ex.Label {
+			correct++
+		}
+	}
+	return correct
+}

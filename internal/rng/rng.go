@@ -1,0 +1,215 @@
+// Package rng provides deterministic, splittable random number generation
+// and the noise samplers used by Sage's differentially private mechanisms.
+//
+// All randomness in the repository flows through an *rng.RNG so that every
+// experiment, test, and benchmark is reproducible from a single seed. RNGs
+// can be split into independent child streams (one per pipeline, per block,
+// per training step) without sharing state, which keeps concurrent
+// components deterministic regardless of scheduling.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source. It wraps a PCG generator from
+// math/rand/v2 and adds the distribution samplers Sage needs (Laplace,
+// Gaussian, exponential, Gamma, power law, lognormal).
+//
+// An RNG is not safe for concurrent use; use Split to derive independent
+// generators for concurrent components.
+type RNG struct {
+	src *rand.Rand
+	// seeds retained so Split can derive decorrelated children.
+	s0, s1  uint64
+	nsplits uint64
+}
+
+// New returns an RNG seeded from the given seed. Two RNGs created with the
+// same seed produce identical streams.
+func New(seed uint64) *RNG {
+	// Derive two 64-bit seeds with splitmix64 so that nearby seeds yield
+	// decorrelated streams.
+	s0 := splitmix64(&seed)
+	s1 := splitmix64(&seed)
+	return &RNG{src: rand.New(rand.NewPCG(s0, s1)), s0: s0, s1: s1}
+}
+
+// splitmix64 advances *x and returns a well-mixed 64-bit value. It is the
+// standard seed-expansion function recommended for PCG/xoshiro seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new RNG whose stream is independent of the parent's
+// future output. Successive calls return distinct streams.
+func (r *RNG) Split() *RNG {
+	r.nsplits++
+	seed := r.s0 ^ (r.s1 * 0x9e3779b97f4a7c15) ^ (r.nsplits * 0xda942042e4dd58b5)
+	// Mix in a draw from the parent so splits after different usage differ.
+	seed ^= r.src.Uint64()
+	return New(seed)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Int64N returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Normal returns a draw from the normal distribution with the given mean
+// and standard deviation.
+func (r *RNG) Normal(mean, std float64) float64 {
+	return mean + std*r.src.NormFloat64()
+}
+
+// Laplace returns a draw from the Laplace distribution with the given mean
+// and scale b (density (1/2b)·exp(-|x-mean|/b)). The Laplace mechanism adds
+// Laplace(0, sensitivity/ε) noise for (ε, 0)-DP.
+func (r *RNG) Laplace(mean, scale float64) float64 {
+	// Inverse CDF sampling: u uniform in (-1/2, 1/2),
+	// x = mean - b·sign(u)·ln(1-2|u|).
+	u := r.src.Float64() - 0.5
+	if u >= 0 {
+		return mean - scale*math.Log(1-2*u)
+	}
+	return mean + scale*math.Log(1+2*u)
+}
+
+// Exponential returns a draw from the exponential distribution with the
+// given mean (scale). It panics if mean <= 0.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exponential requires mean > 0")
+	}
+	return mean * r.src.ExpFloat64()
+}
+
+// Gamma returns a draw from the Gamma distribution with shape k and scale
+// theta, using the Marsaglia–Tsang method. Used by the workload simulator
+// for pipeline inter-arrival times (§5.4 of the paper).
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma requires shape, scale > 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) · U^{1/k}.
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// ParetoMin returns a draw from a Pareto (power-law) distribution with the
+// given minimum value and tail exponent alpha > 0: P(X > x) = (min/x)^alpha
+// for x >= min. The workload simulator draws model sample complexities from
+// this distribution (§5.4).
+func (r *RNG) ParetoMin(min, alpha float64) float64 {
+	if min <= 0 || alpha <= 0 {
+		panic("rng: ParetoMin requires min, alpha > 0")
+	}
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return min * math.Pow(u, -1/alpha)
+}
+
+// LogNormal returns a draw from a lognormal distribution where the
+// underlying normal has the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Categorical returns an index drawn proportionally to the non-negative
+// weights. It panics if the weights are empty or sum to zero.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Categorical requires non-negative weights")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("rng: Categorical requires positive total weight")
+	}
+	u := r.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf returns a sampler over [0, n) with Zipf-like weights 1/(i+1)^s,
+// used by the Criteo generator for power-law categorical features.
+func (r *RNG) Zipf(n int, s float64) func() int {
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -s)
+	}
+	// Precompute cumulative weights for binary search.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	total := acc
+	return func() int {
+		u := r.src.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}

@@ -1,0 +1,229 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical streams")
+	}
+	// Splitting must be deterministic given the same parent history.
+	p1, p2 := New(9), New(9)
+	s1, s2 := p1.Split(), p2.Split()
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("split streams not reproducible at draw %d", i)
+		}
+	}
+}
+
+// moments computes the sample mean and variance of n draws.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(3)
+	const scale = 2.0
+	mean, v := moments(200000, func() float64 { return r.Laplace(0, scale) })
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// Var(Laplace(0,b)) = 2b².
+	want := 2 * scale * scale
+	if math.Abs(v-want)/want > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", v, want)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	mean, v := moments(200000, func() float64 { return r.Normal(1.5, 3.0) })
+	if math.Abs(mean-1.5) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~1.5", mean)
+	}
+	if math.Abs(v-9.0)/9.0 > 0.05 {
+		t.Errorf("Normal variance = %v, want ~9", v)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(5)
+	mean, _ := moments(200000, func() float64 { return r.Exponential(4.0) })
+	if math.Abs(mean-4.0)/4.0 > 0.05 {
+		t.Errorf("Exponential mean = %v, want ~4", mean)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(6)
+	const shape, scale = 2.5, 1.5
+	mean, v := moments(200000, func() float64 { return r.Gamma(shape, scale) })
+	if math.Abs(mean-shape*scale)/(shape*scale) > 0.05 {
+		t.Errorf("Gamma mean = %v, want ~%v", mean, shape*scale)
+	}
+	want := shape * scale * scale
+	if math.Abs(v-want)/want > 0.10 {
+		t.Errorf("Gamma variance = %v, want ~%v", v, want)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	r := New(61)
+	const shape, scale = 0.5, 2.0
+	mean, _ := moments(200000, func() float64 { return r.Gamma(shape, scale) })
+	if math.Abs(mean-shape*scale)/(shape*scale) > 0.07 {
+		t.Errorf("Gamma(0.5) mean = %v, want ~%v", mean, shape*scale)
+	}
+}
+
+func TestParetoMin(t *testing.T) {
+	r := New(8)
+	const min, alpha = 10.0, 2.5
+	for i := 0; i < 10000; i++ {
+		if x := r.ParetoMin(min, alpha); x < min {
+			t.Fatalf("Pareto draw %v below min %v", x, min)
+		}
+	}
+	// E[X] = alpha·min/(alpha-1) for alpha > 1.
+	mean, _ := moments(300000, func() float64 { return r.ParetoMin(min, alpha) })
+	want := alpha * min / (alpha - 1)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("Pareto mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(9)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	for i, c := range counts {
+		got := float64(c) / n
+		want := w[i] / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(10)
+	draw := r.Zipf(50, 1.2)
+	counts := make([]int, 50)
+	for i := 0; i < 100000; i++ {
+		k := draw()
+		if k < 0 || k >= 50 {
+			t.Fatalf("Zipf draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[49] {
+		t.Errorf("Zipf head count %d not greater than tail count %d", counts[0], counts[49])
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation")
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Laplace draws are symmetric around the mean (median ≈ mean).
+func TestLaplaceSymmetryProperty(t *testing.T) {
+	f := func(seed uint64, rawMean int16, rawScale uint8) bool {
+		mean := float64(rawMean) / 100
+		scale := float64(rawScale)/50 + 0.1
+		r := New(seed)
+		above := 0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			if r.Laplace(mean, scale) > mean {
+				above++
+			}
+		}
+		frac := float64(above) / n
+		return frac > 0.44 && frac < 0.56
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IntN always returns values in range.
+func TestIntNRangeProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN)%1000 + 1
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.IntN(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/ml"
+)
+
+// Server is the Serving Infrastructure of Fig. 1: it loads bundles from
+// the store and answers prediction requests over HTTP. It caches the
+// instantiated model per (name, version) — bundles are immutable.
+//
+// Endpoints:
+//
+//	GET  /models                 → JSON list of {name, version, pipeline}
+//	POST /predict?model=<name>   → {"prediction": …} for {"features": […]}
+type Server struct {
+	store *Store
+	mu    sync.Mutex
+	cache map[string]ml.Model // "name@version" → model
+}
+
+// NewServer returns a server over the store.
+func NewServer(s *Store) *Server {
+	return &Server{store: s, cache: make(map[string]ml.Model)}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	return mux
+}
+
+// modelInfo is one row of the /models listing.
+type modelInfo struct {
+	Name     string  `json:"name"`
+	Version  int     `json:"version"`
+	Pipeline string  `json:"pipeline"`
+	Quality  float64 `json:"quality"`
+	Epsilon  float64 `json:"epsilon_spent"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	var out []modelInfo
+	for _, name := range s.store.List() {
+		if b, ok := s.store.Latest(name); ok {
+			out = append(out, modelInfo{
+				Name: b.Name, Version: b.Version,
+				Pipeline: b.Provenance.Pipeline,
+				Quality:  b.Provenance.Quality,
+				Epsilon:  b.Provenance.Spent.Epsilon,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// predictRequest is the body of POST /predict.
+type predictRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// predictResponse is the reply.
+type predictResponse struct {
+	Model      string  `json:"model"`
+	Version    int     `json:"version"`
+	Prediction float64 `json:"prediction"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing ?model=")
+		return
+	}
+	bundle, ok := s.store.Latest(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	model, err := s.model(bundle)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Model: bundle.Name, Version: bundle.Version,
+		Prediction: model.Predict(req.Features),
+	})
+}
+
+// model returns the cached instantiation of a bundle.
+func (s *Server) model(b *Bundle) (ml.Model, error) {
+	key := fmt.Sprintf("%s@%d", b.Name, b.Version)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.cache[key]; ok {
+		return m, nil
+	}
+	m, err := b.Model.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = m
+	return m, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

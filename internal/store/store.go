@@ -1,0 +1,231 @@
+// Package store implements the wide-access Model & Feature Store of the
+// paper's platform architecture (Fig. 1, §2.1): the component that
+// receives model+feature bundles from accepted training pipelines and
+// exposes them to other teams and to the serving infrastructure.
+//
+// The store sits in the *untrusted* domain of the threat model (§2.2):
+// anything published here is considered released, which is exactly why
+// Sage makes the process that produces bundles globally DP. Bundles
+// therefore carry provenance — the pipeline, the privacy budget spent,
+// the blocks used, and the validator's decision — so an auditor can
+// reconcile every release against the stream's accounting.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// Provenance records where a bundle came from.
+type Provenance struct {
+	// Pipeline is the producing pipeline's name.
+	Pipeline string
+	// Spent is the privacy budget the release consumed.
+	Spent privacy.Budget
+	// Blocks are the stream blocks the training read.
+	Blocks []data.BlockID
+	// Decision is the validator's verdict ("ACCEPT").
+	Decision string
+	// Quality is the DP quality estimate at release time.
+	Quality float64
+}
+
+// ModelSpec is a serializable description of a trained model. Exactly
+// one Kind is valid.
+type ModelSpec struct {
+	Kind string // "linear", "logistic", "linear-sgd", "mlp-reg", "mlp-clf"
+	// Linear models.
+	Weights []float64
+	Bias    float64
+	// SGD-parameterized models (logistic / linear-sgd / MLPs).
+	Dim    int
+	Hidden []int
+	Params []float64
+}
+
+// Serialize converts a supported model into a spec. It returns an error
+// for unknown model types.
+func Serialize(m ml.Model) (ModelSpec, error) {
+	switch v := m.(type) {
+	case *ml.LinearModel:
+		return ModelSpec{
+			Kind:    "linear",
+			Weights: append([]float64{}, v.Weights...),
+			Bias:    v.Bias,
+		}, nil
+	case *ml.LogisticRegression:
+		return ModelSpec{
+			Kind: "logistic", Dim: v.Dim(),
+			Params: append([]float64{}, v.Params()...),
+		}, nil
+	case *ml.SGDLinearRegression:
+		return ModelSpec{
+			Kind: "linear-sgd", Dim: v.Dim(),
+			Params: append([]float64{}, v.Params()...),
+		}, nil
+	case *ml.MLP:
+		kind := "mlp-reg"
+		if v.Kind() == ml.BinaryClassification {
+			kind = "mlp-clf"
+		}
+		return ModelSpec{
+			Kind: kind, Dim: v.InputDim(), Hidden: v.Hidden(),
+			Params: append([]float64{}, v.Params()...),
+		}, nil
+	case ml.ConstantModel:
+		return ModelSpec{Kind: "constant", Bias: v.Value}, nil
+	default:
+		return ModelSpec{}, fmt.Errorf("store: unsupported model type %T", m)
+	}
+}
+
+// Instantiate reconstructs a usable model from the spec.
+func (s ModelSpec) Instantiate() (ml.Model, error) {
+	switch s.Kind {
+	case "linear":
+		return &ml.LinearModel{
+			Weights: append([]float64{}, s.Weights...),
+			Bias:    s.Bias,
+		}, nil
+	case "constant":
+		return ml.ConstantModel{Value: s.Bias}, nil
+	case "logistic":
+		m := ml.NewLogisticRegression(s.Dim)
+		if len(s.Params) != len(m.Params()) {
+			return nil, fmt.Errorf("store: logistic params length %d, want %d", len(s.Params), len(m.Params()))
+		}
+		copy(m.Params(), s.Params)
+		return m, nil
+	case "linear-sgd":
+		m := ml.NewSGDLinearRegression(s.Dim)
+		if len(s.Params) != len(m.Params()) {
+			return nil, fmt.Errorf("store: linear-sgd params length %d, want %d", len(s.Params), len(m.Params()))
+		}
+		copy(m.Params(), s.Params)
+		return m, nil
+	case "mlp-reg", "mlp-clf":
+		kind := ml.Regression
+		if s.Kind == "mlp-clf" {
+			kind = ml.BinaryClassification
+		}
+		m := ml.NewMLP(kind, s.Dim, s.Hidden, rng.New(0))
+		if len(s.Params) != len(m.Params()) {
+			return nil, fmt.Errorf("store: MLP params length %d, want %d", len(s.Params), len(m.Params()))
+		}
+		copy(m.Params(), s.Params)
+		return m, nil
+	default:
+		return nil, fmt.Errorf("store: unknown model kind %q", s.Kind)
+	}
+}
+
+// Bundle is one released model+features artifact (§2.1: the model is
+// "bundled with its feature transformation operators and pushed into
+// serving").
+type Bundle struct {
+	Name    string
+	Version int
+	Model   ModelSpec
+	// Features carries released aggregate features by name, e.g.
+	// Listing 1's per-hour speed table.
+	Features   map[string][]float64
+	Provenance Provenance
+}
+
+// Encode serializes the bundle (gob) for shipment to serving replicas
+// or end-user devices.
+func (b *Bundle) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, fmt.Errorf("store: encode bundle %s: %w", b.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBundle deserializes a bundle.
+func DecodeBundle(raw []byte) (*Bundle, error) {
+	var b Bundle
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("store: decode bundle: %w", err)
+	}
+	return &b, nil
+}
+
+// Store is the in-memory wide-access model & feature store. It is safe
+// for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	bundles map[string][]*Bundle // name → versions (ascending)
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{bundles: make(map[string][]*Bundle)}
+}
+
+// Publish adds a bundle under its name and assigns the next version
+// (starting at 1). It returns the assigned version.
+func (s *Store) Publish(b Bundle) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions := s.bundles[b.Name]
+	b.Version = len(versions) + 1
+	s.bundles[b.Name] = append(versions, &b)
+	return b.Version
+}
+
+// Latest returns the most recent version of the named bundle.
+func (s *Store) Latest(name string) (*Bundle, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.bundles[name]
+	if len(versions) == 0 {
+		return nil, false
+	}
+	return versions[len(versions)-1], true
+}
+
+// Get returns a specific version.
+func (s *Store) Get(name string, version int) (*Bundle, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.bundles[name]
+	if version < 1 || version > len(versions) {
+		return nil, false
+	}
+	return versions[version-1], true
+}
+
+// List returns all bundle names, sorted.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.bundles))
+	for name := range s.bundles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalSpent sums the budget recorded across all published bundles of a
+// name — an auditor's view of how much privacy a model line has cost.
+// Note this is a *per-release* tally; the binding stream-wide guarantee
+// lives in core.AccessControl's per-block accounting.
+func (s *Store) TotalSpent(name string) privacy.Budget {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := privacy.Zero
+	for _, b := range s.bundles[name] {
+		total = total.Add(b.Provenance.Spent)
+	}
+	return total
+}

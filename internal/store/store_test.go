@@ -1,0 +1,236 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	x := []float64{0.3, -0.7, 1.1}
+	models := []ml.Model{
+		&ml.LinearModel{Weights: []float64{1, 2, 3}, Bias: 0.5},
+		ml.ConstantModel{Value: 0.25},
+		func() ml.Model {
+			m := ml.NewLogisticRegression(3)
+			for i := range m.Params() {
+				m.Params()[i] = float64(i) * 0.1
+			}
+			return m
+		}(),
+		func() ml.Model {
+			m := ml.NewSGDLinearRegression(3)
+			m.Params()[0] = 2
+			return m
+		}(),
+		ml.NewMLP(ml.Regression, 3, []int{5, 4}, r),
+		ml.NewMLP(ml.BinaryClassification, 3, []int{6}, r),
+	}
+	for i, m := range models {
+		spec, err := Serialize(m)
+		if err != nil {
+			t.Fatalf("model %d: %v", i, err)
+		}
+		back, err := spec.Instantiate()
+		if err != nil {
+			t.Fatalf("model %d: %v", i, err)
+		}
+		want, got := m.Predict(x), back.Predict(x)
+		if math.Abs(want-got) > 1e-12 {
+			t.Errorf("model %d (%s): prediction %v != %v after round trip", i, spec.Kind, got, want)
+		}
+	}
+}
+
+func TestSerializeUnknownModel(t *testing.T) {
+	type weird struct{ ml.Model }
+	if _, err := Serialize(weird{}); err == nil {
+		t.Error("unknown model type should error")
+	}
+	if _, err := (ModelSpec{Kind: "nope"}).Instantiate(); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := (ModelSpec{Kind: "logistic", Dim: 3, Params: []float64{1}}).Instantiate(); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestBundleEncodeDecode(t *testing.T) {
+	spec, _ := Serialize(&ml.LinearModel{Weights: []float64{1, -1}, Bias: 2})
+	b := &Bundle{
+		Name:  "taxi-lr",
+		Model: spec,
+		Features: map[string][]float64{
+			"hour_speed": {30, 29, 28},
+		},
+		Provenance: Provenance{
+			Pipeline: "taxi-lr",
+			Spent:    privacy.MustBudget(0.5, 1e-8),
+			Blocks:   []data.BlockID{1, 2, 3},
+			Decision: "ACCEPT",
+			Quality:  0.004,
+		},
+	}
+	raw, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBundle(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != b.Name || back.Provenance.Spent != b.Provenance.Spent {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if len(back.Features["hour_speed"]) != 3 {
+		t.Error("features lost")
+	}
+	if _, err := DecodeBundle([]byte("garbage")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}
+
+func TestStoreVersioning(t *testing.T) {
+	s := New()
+	spec, _ := Serialize(ml.ConstantModel{Value: 1})
+	if v := s.Publish(Bundle{Name: "m", Model: spec}); v != 1 {
+		t.Errorf("first version = %d", v)
+	}
+	if v := s.Publish(Bundle{Name: "m", Model: spec}); v != 2 {
+		t.Errorf("second version = %d", v)
+	}
+	latest, ok := s.Latest("m")
+	if !ok || latest.Version != 2 {
+		t.Errorf("Latest = %+v", latest)
+	}
+	v1, ok := s.Get("m", 1)
+	if !ok || v1.Version != 1 {
+		t.Errorf("Get(1) = %+v", v1)
+	}
+	if _, ok := s.Get("m", 3); ok {
+		t.Error("Get(3) should miss")
+	}
+	if _, ok := s.Latest("absent"); ok {
+		t.Error("Latest(absent) should miss")
+	}
+	if got := s.List(); len(got) != 1 || got[0] != "m" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestStoreTotalSpent(t *testing.T) {
+	s := New()
+	spec, _ := Serialize(ml.ConstantModel{Value: 1})
+	s.Publish(Bundle{Name: "m", Model: spec, Provenance: Provenance{Spent: privacy.MustBudget(0.3, 0)}})
+	s.Publish(Bundle{Name: "m", Model: spec, Provenance: Provenance{Spent: privacy.MustBudget(0.5, 1e-8)}})
+	got := s.TotalSpent("m")
+	if math.Abs(got.Epsilon-0.8) > 1e-12 || got.Delta != 1e-8 {
+		t.Errorf("TotalSpent = %v", got)
+	}
+}
+
+func TestStoreConcurrentPublish(t *testing.T) {
+	s := New()
+	spec, _ := Serialize(ml.ConstantModel{Value: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Publish(Bundle{Name: "m", Model: spec})
+				_, _ = s.Latest("m")
+			}
+		}()
+	}
+	wg.Wait()
+	latest, _ := s.Latest("m")
+	if latest.Version != 800 {
+		t.Errorf("final version = %d, want 800", latest.Version)
+	}
+}
+
+func TestServingEndpoints(t *testing.T) {
+	s := New()
+	spec, _ := Serialize(&ml.LinearModel{Weights: []float64{2}, Bias: 1})
+	s.Publish(Bundle{
+		Name: "double-plus-one", Model: spec,
+		Provenance: Provenance{Pipeline: "demo", Quality: 0.9, Spent: privacy.MustBudget(0.25, 0)},
+	})
+	srv := httptest.NewServer(NewServer(s).Handler())
+	defer srv.Close()
+
+	// /models lists the bundle.
+	resp, err := http.Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0]["name"] != "double-plus-one" {
+		t.Fatalf("/models = %v", infos)
+	}
+
+	// /predict evaluates the model.
+	body := bytes.NewBufferString(`{"features":[3]}`)
+	resp, err = http.Post(srv.URL+"/predict?model=double-plus-one", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := pred["prediction"].(float64); math.Abs(got-7) > 1e-12 {
+		t.Errorf("prediction = %v, want 7", got)
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		url, payload string
+		wantCode     int
+	}{
+		{"/predict", `{"features":[1]}`, http.StatusBadRequest},
+		{"/predict?model=ghost", `{"features":[1]}`, http.StatusNotFound},
+		{"/predict?model=double-plus-one", `{invalid`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+tc.url, "application/json", bytes.NewBufferString(tc.payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s: code %d, want %d", tc.url, resp.StatusCode, tc.wantCode)
+		}
+	}
+}
+
+func TestServingCachesModels(t *testing.T) {
+	s := New()
+	spec, _ := Serialize(&ml.LinearModel{Weights: []float64{1}, Bias: 0})
+	s.Publish(Bundle{Name: "m", Model: spec})
+	server := NewServer(s)
+	b, _ := s.Latest("m")
+	m1, err := server.model(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := server.model(b)
+	if m1 != m2 {
+		t.Error("second lookup should hit the cache")
+	}
+}

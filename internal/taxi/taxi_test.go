@@ -1,0 +1,211 @@
+package taxi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := NewGenerator(Config{}, 7).Generate(100, 0, 24)
+	b := NewGenerator(Config{}, 7).Generate(100, 0, 24)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ride %d differs between same-seed generators", i)
+		}
+	}
+	c := NewGenerator(Config{}, 8).Generate(100, 0, 24)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("%d/100 rides identical across seeds", same)
+	}
+}
+
+func TestGenerateTimeSpan(t *testing.T) {
+	rides := NewGenerator(Config{}, 1).Generate(1000, 100, 50)
+	for _, r := range rides {
+		if r.PickupHour < 100 || r.PickupHour >= 150 {
+			t.Fatalf("pickup hour %d outside [100, 150)", r.PickupHour)
+		}
+	}
+	// Times must be non-decreasing (stream order).
+	for i := 1; i < len(rides); i++ {
+		if rides[i].PickupHour < rides[i-1].PickupHour {
+			t.Fatal("pickup times not monotone")
+		}
+	}
+}
+
+func TestCleanRides(t *testing.T) {
+	rides := NewGenerator(Config{}, 2).Generate(5000, 0, 24*7)
+	kept, dropped := Clean(rides)
+	if dropped != 0 || len(kept) != 5000 {
+		t.Errorf("clean generator dropped %d rides", dropped)
+	}
+}
+
+func TestCleanFiltersOutliers(t *testing.T) {
+	const frac = 0.2
+	rides := NewGenerator(Config{OutlierFraction: frac}, 3).Generate(20000, 0, 24*7)
+	kept, dropped := Clean(rides)
+	got := float64(dropped) / 20000
+	if math.Abs(got-frac) > 0.02 {
+		t.Errorf("dropped fraction %v, want ~%v", got, frac)
+	}
+	for _, r := range kept {
+		if !Valid(r) {
+			t.Fatal("Clean returned an invalid ride")
+		}
+	}
+}
+
+func TestValidFilters(t *testing.T) {
+	base := NewGenerator(Config{}, 4).Generate(1, 0, 1)[0]
+	if !Valid(base) {
+		t.Fatal("clean ride should be valid")
+	}
+	cases := []func(Ride) Ride{
+		func(r Ride) Ride { r.Price = 1500; return r },
+		func(r Ride) Ride { r.Price = -1; return r },
+		func(r Ride) Ride { r.Duration = -0.1; return r },
+		func(r Ride) Ride { r.Duration = 3; return r },
+		func(r Ride) Ride { r.MalformedDate = true; return r },
+		func(r Ride) Ride { r.PickupLat = 10; return r },
+		func(r Ride) Ride { r.DropLon = 50; return r },
+	}
+	for i, mutate := range cases {
+		if Valid(mutate(base)) {
+			t.Errorf("case %d should be filtered", i)
+		}
+	}
+}
+
+func TestSpeedProfileShape(t *testing.T) {
+	// Rush hours must be slower than night.
+	if speedProfile(8) >= speedProfile(2) {
+		t.Error("morning rush not slower than night")
+	}
+	if speedProfile(17) >= speedProfile(23) {
+		t.Error("evening rush not slower than late night")
+	}
+	for h := 0; h < 24; h++ {
+		if speedProfile(h) <= 0 {
+			t.Errorf("hour %d has non-positive speed", h)
+		}
+	}
+}
+
+func TestSpeedByHourExact(t *testing.T) {
+	rides := NewGenerator(Config{}, 5).Generate(50000, 0, 24*14)
+	speeds := SpeedByHour(rides, 0, nil)
+	if len(speeds) != 24 {
+		t.Fatalf("len = %d", len(speeds))
+	}
+	// Recovered profile must reflect rush-hour structure.
+	if speeds[8] >= speeds[2] {
+		t.Errorf("hour 8 speed %v not below hour 2 speed %v", speeds[8], speeds[2])
+	}
+}
+
+func TestSpeedByHourDPCloseToExact(t *testing.T) {
+	rides := NewGenerator(Config{}, 6).Generate(100000, 0, 24*14)
+	exact := SpeedByHour(rides, 0, nil)
+	dp := SpeedByHour(rides, 1.0, rng.New(7))
+	for h := range exact {
+		if math.Abs(dp[h]-exact[h]) > 2.0 {
+			t.Errorf("hour %d: DP speed %v far from exact %v", h, dp[h], exact[h])
+		}
+	}
+}
+
+func TestFeaturizeShape(t *testing.T) {
+	rides := NewGenerator(Config{}, 8).Generate(1000, 0, 24*7)
+	ds := Featurize(rides, SpeedByHour(rides, 0, nil))
+	if ds.Len() != 1000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.FeatureDim() != FeatureDim {
+		t.Fatalf("FeatureDim = %d, want %d", ds.FeatureDim(), FeatureDim)
+	}
+	for _, ex := range ds.Examples {
+		if ex.Label < 0 || ex.Label > 1 {
+			t.Fatalf("label %v outside [0,1]", ex.Label)
+		}
+		// One-hot groups must each have exactly one active bit.
+		ones := 0
+		for _, v := range ex.Features[2:] {
+			if v == 1 {
+				ones++
+			} else if v != 0 {
+				t.Fatalf("non-binary one-hot value %v", v)
+			}
+		}
+		if ones != 4 {
+			t.Fatalf("expected 4 active one-hot bits, got %d", ones)
+		}
+	}
+}
+
+// TestCalibrationAnchors pins the generator to the paper's anchors: the
+// naïve (mean-label) MSE ≈ 0.0069 and the best linear model ≈ 0.0024
+// (§5 Methodology). Ranges are generous to absorb sampling noise.
+func TestCalibrationAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check trains on 150K samples")
+	}
+	train := Pipeline(150000, 0, 24*30, 0, 0, 11)
+	test := Pipeline(30000, 0, 24*30, 0, 0, 12)
+	naive := ml.MSE(ml.NaiveMeanModel(train), test)
+	if naive < 0.005 || naive > 0.010 {
+		t.Errorf("naive MSE = %v, want ≈ 0.0069 (paper)", naive)
+	}
+	lr := ml.TrainRidge(train, ml.RidgeConfig{Lambda: 1e-4})
+	best := ml.MSE(lr, test)
+	if best < 0.0015 || best > 0.0035 {
+		t.Errorf("LR MSE = %v, want ≈ 0.0024 (paper)", best)
+	}
+	if best > naive/2 {
+		t.Errorf("LR (%v) should at least halve the naive MSE (%v)", best, naive)
+	}
+}
+
+func TestPipelineWithDPSpeeds(t *testing.T) {
+	ds := Pipeline(5000, 0, 24*7, 0.05, 0.5, 13)
+	if ds.Len() == 0 || ds.Len() > 5000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.FeatureDim() != FeatureDim {
+		t.Fatal("wrong feature dim")
+	}
+}
+
+// Property: featurized values are always bounded, labels in [0,1], for
+// any generator seed and outlier fraction.
+func TestFeatureBoundsProperty(t *testing.T) {
+	f := func(seed uint64, fracRaw uint8) bool {
+		frac := float64(fracRaw) / 512 // up to 50%
+		ds := Pipeline(200, 0, 48, frac, 0, seed)
+		for _, ex := range ds.Examples {
+			if ex.Label < 0 || ex.Label > 1 {
+				return false
+			}
+			for _, v := range ex.Features {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

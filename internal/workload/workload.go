@@ -1,0 +1,510 @@
+// Package workload implements the multi-pipeline workload simulation of
+// §5.4: a data stream delivering one block per hour, ML pipelines
+// arriving with Gamma-distributed inter-arrival times and power-law
+// sample complexities, and four budget-management strategies competing
+// for the stream's (εg, δg) budget:
+//
+//   - Streaming composition (prior work): each data point is consumed by
+//     exactly one pipeline and never reused.
+//   - Query composition (prior work): pipelines run one DP sub-query per
+//     block and aggregate, so combining B blocks costs ≈ √B more data
+//     for the same quality (each sub-query adds independent noise; the
+//     averaged noise shrinks only as √B while a combined query's noise
+//     would shrink as B).
+//   - Block/Aggressive: block composition, spending every allocated
+//     budget at invocation time.
+//   - Block/Conserve (Sage): block composition with the privacy-adaptive
+//     doubling schedule, spending the least budget that passes.
+//
+// The simulator abstracts training runs into a data-requirement frontier
+// calibrated from the Fig. 5/6 experiments: a pipeline with base
+// complexity n* (the samples its target needs at ε = εg without
+// contention) requires nReq(ε) = n*·(1 + κ/ε)/(1 + κ) samples when
+// trained at budget ε — DP noise is compensated with data, the premise
+// of privacy-adaptive training. This keeps the Fig. 8 sweep tractable
+// while preserving the contention dynamics the figure measures.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Strategy selects the §5.4 budget-management strategy.
+type Strategy int
+
+const (
+	// StreamingComposition consumes each point once (prior work).
+	StreamingComposition Strategy = iota
+	// QueryComposition runs per-block sub-queries (prior work).
+	QueryComposition
+	// BlockAggressive is block composition spending all allocation.
+	BlockAggressive
+	// BlockConserve is Sage: block composition + conserving doubling.
+	BlockConserve
+)
+
+// String returns the strategy name as used in Fig. 8's legend.
+func (s Strategy) String() string {
+	switch s {
+	case StreamingComposition:
+		return "Streaming Composition"
+	case QueryComposition:
+		return "Query Composition"
+	case BlockAggressive:
+		return "Block/Aggressive"
+	default:
+		return "Block/Conserve (Sage)"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Strategy Strategy
+	// EpsG is the per-block global budget (paper: 1.0).
+	EpsG float64
+	// BlockSize is the number of points in one hourly block (paper:
+	// ~16K for Taxi, ~267K for Criteo).
+	BlockSize int
+	// ArrivalRate is the expected pipeline arrivals per hour (Fig. 8's
+	// x-axis).
+	ArrivalRate float64
+	// GammaShape shapes the inter-arrival Gamma distribution
+	// (mean is fixed at 1/ArrivalRate; default 2).
+	GammaShape float64
+	// Complexity* parameterize the power-law sample complexity, in
+	// units of blocks of data: n* = BlockSize · Pareto(Min, Alpha)
+	// clipped to Max (defaults 0.8, 1.6, 60 — mean ≈ 2 hourly blocks).
+	ComplexityMinBlocks float64
+	ComplexityAlpha     float64
+	ComplexityMaxBlocks float64
+	// Kappa is the DP data-inflation constant κ (default 1: training
+	// at ε = εg/16 needs ≈ 8.5× the ε = 1 data).
+	Kappa float64
+	// Epsilon0 is the conserving schedule's starting budget (default
+	// EpsG/16).
+	Epsilon0 float64
+	// Hours is the simulated horizon (default 1000).
+	Hours int
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.EpsG == 0 {
+		c.EpsG = 1
+	}
+	if c.GammaShape == 0 {
+		c.GammaShape = 2
+	}
+	if c.ComplexityMinBlocks == 0 {
+		c.ComplexityMinBlocks = 0.8
+	}
+	if c.ComplexityAlpha == 0 {
+		c.ComplexityAlpha = 1.6
+	}
+	if c.ComplexityMaxBlocks == 0 {
+		c.ComplexityMaxBlocks = 60
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 1
+	}
+	if c.Epsilon0 == 0 {
+		c.Epsilon0 = c.EpsG / 16
+	}
+	if c.Hours == 0 {
+		c.Hours = 1000
+	}
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Arrived and Released count pipelines; Unfinished = Arrived −
+	// Released at the horizon.
+	Arrived, Released, Unfinished int
+	// AvgReleaseTime is the mean hours from pipeline arrival to model
+	// release; unfinished pipelines contribute their (censored) age at
+	// the horizon, so saturated systems show diverging times as in
+	// Fig. 8.
+	AvgReleaseTime float64
+	// AvgBudgetSpent is the mean ε consumed per released model.
+	AvgBudgetSpent float64
+}
+
+// simBlock is one hourly data block.
+type simBlock struct {
+	size float64
+	// free is budget not yet allocated to any pipeline.
+	free float64
+}
+
+// allocEntry is a pipeline's reserved budget on one block.
+type allocEntry struct {
+	block *simBlock
+	amt   float64
+}
+
+// simPipeline is one in-flight training pipeline.
+type simPipeline struct {
+	id      int
+	arrived int
+	need    float64 // base sample complexity n* (points at ε = εg)
+	// allocs holds this pipeline's per-block budget reservations.
+	allocs []allocEntry
+	index  map[*simBlock]int // block → position in allocs
+	// streaming composition state: points consumed so far.
+	got float64
+	// spent ε for reporting (on release).
+	spent      float64
+	releasedAt int
+	done       bool
+}
+
+// addAlloc reserves amt more budget on block b for the pipeline.
+func (p *simPipeline) addAlloc(b *simBlock, amt float64) {
+	if i, ok := p.index[b]; ok {
+		p.allocs[i].amt += amt
+		return
+	}
+	p.index[b] = len(p.allocs)
+	p.allocs = append(p.allocs, allocEntry{block: b, amt: amt})
+}
+
+// sim is the simulation state.
+type sim struct {
+	cfg      Config
+	r        *rng.RNG
+	blocks   []*simBlock
+	freed    []*simBlock // blocks whose free pool gained budget this hour
+	waiting  []*simPipeline
+	released []*simPipeline
+	now      int
+	nextID   int
+}
+
+// nReq returns the data requirement of a pipeline at training budget
+// eps: n*·(1 + κ/ε)/(1 + κ), the privacy-utility frontier.
+func (s *sim) nReq(p *simPipeline, eps float64) float64 {
+	k := s.cfg.Kappa
+	return p.need * (1 + k/eps) / (1 + k)
+}
+
+// Run simulates the workload and returns its statistics.
+func Run(cfg Config) Stats {
+	cfg.fillDefaults()
+	if cfg.ArrivalRate <= 0 {
+		panic(fmt.Sprintf("workload: ArrivalRate must be > 0, got %v", cfg.ArrivalRate))
+	}
+	if cfg.BlockSize <= 0 {
+		panic("workload: BlockSize must be > 0")
+	}
+	s := &sim{cfg: cfg, r: rng.New(cfg.Seed)}
+
+	// Pre-draw pipeline arrival times (Gamma inter-arrivals with mean
+	// 1/rate).
+	var arrivals []float64
+	t := 0.0
+	for t < float64(cfg.Hours) {
+		t += s.r.Gamma(cfg.GammaShape, 1/(cfg.GammaShape*cfg.ArrivalRate))
+		arrivals = append(arrivals, t)
+	}
+	nextArrival := 0
+
+	for s.now = 0; s.now < cfg.Hours; s.now++ {
+		// 1. Pipeline arrivals this hour.
+		for nextArrival < len(arrivals) && arrivals[nextArrival] < float64(s.now+1) {
+			blocksNeeded := s.r.ParetoMin(cfg.ComplexityMinBlocks, cfg.ComplexityAlpha)
+			if blocksNeeded > cfg.ComplexityMaxBlocks {
+				blocksNeeded = cfg.ComplexityMaxBlocks
+			}
+			p := &simPipeline{
+				id:      s.nextID,
+				arrived: s.now,
+				need:    blocksNeeded * float64(cfg.BlockSize),
+				index:   make(map[*simBlock]int),
+			}
+			s.nextID++
+			s.waiting = append(s.waiting, p)
+			nextArrival++
+		}
+
+		// 2. A new block arrives with a fresh budget.
+		nb := &simBlock{size: float64(cfg.BlockSize), free: cfg.EpsG}
+		s.blocks = append(s.blocks, nb)
+		s.freed = append(s.freed, nb)
+
+		// 3. Distribute free block budgets evenly among waiting
+		// pipelines (the paper's allocation rule). Streaming
+		// composition distributes *points* instead.
+		if len(s.waiting) > 0 {
+			if cfg.Strategy == StreamingComposition {
+				s.distributePoints()
+			} else {
+				s.distributeBudget()
+			}
+		}
+
+		// 4. Every waiting pipeline attempts to finish.
+		s.attemptAll()
+	}
+
+	return s.stats()
+}
+
+// distributeBudget splits the free budget of recently-freed blocks
+// evenly across the waiting pipelines.
+func (s *sim) distributeBudget() {
+	if len(s.freed) == 0 {
+		return
+	}
+	n := float64(len(s.waiting))
+	for _, b := range s.freed {
+		if b.free <= 0 {
+			continue
+		}
+		share := b.free / n
+		for _, p := range s.waiting {
+			p.addAlloc(b, share)
+		}
+		b.free = 0
+	}
+	s.freed = s.freed[:0]
+}
+
+// distributePoints gives each waiting pipeline an equal share of the
+// newest block's points (streaming: each point used once, then gone).
+func (s *sim) distributePoints() {
+	b := s.blocks[len(s.blocks)-1]
+	share := b.size / float64(len(s.waiting))
+	for _, p := range s.waiting {
+		p.got += share
+	}
+	b.size = 0
+	s.freed = s.freed[:0]
+}
+
+// attemptAll lets every waiting pipeline try to complete, oldest first,
+// and redistributes budget returned by completions.
+func (s *sim) attemptAll() {
+	progress := true
+	for progress {
+		progress = false
+		for _, p := range s.waiting {
+			if p.done {
+				continue
+			}
+			if s.attempt(p) {
+				p.done = true
+				p.releasedAt = s.now
+				s.released = append(s.released, p)
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+		// Compact the waiting list.
+		kept := s.waiting[:0]
+		for _, p := range s.waiting {
+			if !p.done {
+				kept = append(kept, p)
+			}
+		}
+		s.waiting = kept
+		// Budget returned by completions sits in the freed blocks'
+		// pools; hand it to the remaining waiters right away.
+		if len(s.waiting) > 0 && s.cfg.Strategy != StreamingComposition {
+			s.distributeBudget()
+		}
+	}
+}
+
+// attempt returns true if pipeline p can release its model now.
+func (s *sim) attempt(p *simPipeline) bool {
+	switch s.cfg.Strategy {
+	case StreamingComposition:
+		// Full budget on exclusively-owned points.
+		if p.got >= s.nReq(p, s.cfg.EpsG) {
+			p.spent = s.cfg.EpsG
+			return true
+		}
+		return false
+	case BlockConserve, QueryComposition:
+		return s.attemptConserve(p, s.cfg.Strategy == QueryComposition)
+	default:
+		return s.attemptAggressive(p)
+	}
+}
+
+// attemptConserve scans a geometric budget grid upward from far below
+// ε0 (contention can thin per-block allocations well under the nominal
+// starting budget) and releases at the smallest budget whose affordable
+// blocks hold enough data. Query composition additionally pays the √B
+// penalty for combining B blocks with independent noise, over the
+// minimal prefix of blocks it actually needs.
+func (s *sim) attemptConserve(p *simPipeline, queryPenalty bool) bool {
+	size := float64(s.cfg.BlockSize)
+	for eps := s.cfg.Epsilon0 / 64; eps <= s.cfg.EpsG*(1+1e-9); eps *= 2 {
+		count := 0
+		for _, e := range p.allocs {
+			if e.amt >= eps {
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		need := s.nReq(p, eps)
+		// Blocks are same-sized: the smallest m ≤ count of them that
+		// satisfies the requirement (query composition pays √m).
+		useBlocks := 0
+		for m := 1; m <= count; m++ {
+			data := float64(m) * size
+			if queryPenalty {
+				if data >= need*math.Sqrt(float64(m)) {
+					useBlocks = m
+					break
+				}
+			} else if data >= need {
+				useBlocks = m
+				break
+			}
+		}
+		if useBlocks == 0 {
+			continue
+		}
+		// Charge ε on exactly useBlocks of the affordable blocks and
+		// return everything else.
+		used := make(map[*simBlock]bool, useBlocks)
+		for _, e := range p.allocs {
+			if e.amt >= eps && len(used) < useBlocks {
+				used[e.block] = true
+			}
+		}
+		s.spendUsed(p, used, eps)
+		p.spent = eps
+		return true
+	}
+	return false
+}
+
+// spendUsed charges eps on the used blocks, returning their unspent
+// allocation slices and every allocation on unused blocks.
+func (s *sim) spendUsed(p *simPipeline, used map[*simBlock]bool, eps float64) {
+	for _, e := range p.allocs {
+		if used[e.block] {
+			s.returnBudget(e.block, e.amt-eps)
+		} else {
+			s.returnBudget(e.block, e.amt)
+		}
+	}
+	p.allocs = nil
+	p.index = nil
+}
+
+// attemptAggressive uses as much allocated budget as possible: it orders
+// its blocks by allocation (richest first) and finds the shortest prefix
+// whose minimum allocation ε and total size satisfy the frontier,
+// spending the prefix's entire allocations.
+func (s *sim) attemptAggressive(p *simPipeline) bool {
+	if len(p.allocs) == 0 {
+		return false
+	}
+	entries := append([]allocEntry{}, p.allocs...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].amt > entries[j].amt })
+	total := 0.0
+	for k, e := range entries {
+		total += e.block.size
+		epsEff := math.Min(e.amt, s.cfg.EpsG) // min alloc in the prefix
+		if epsEff <= 0 {
+			break
+		}
+		if total >= s.nReq(p, epsEff) {
+			// Use blocks with alloc ≥ this prefix's minimum; burn
+			// their full allocation.
+			s.spendAndReturn(p, entries[k].amt, epsEff, true)
+			p.spent = epsEff
+			return true
+		}
+	}
+	return false
+}
+
+// spendAndReturn finalizes p's training run: allocations of at least
+// threshold belong to the used blocks (charged ε each — or burned whole
+// when burnAll); every other allocation returns to its block's free pool
+// for redistribution.
+func (s *sim) spendAndReturn(p *simPipeline, threshold, eps float64, burnAll bool) {
+	for _, e := range p.allocs {
+		if e.amt >= threshold {
+			if !burnAll {
+				s.returnBudget(e.block, e.amt-eps)
+			}
+		} else {
+			s.returnBudget(e.block, e.amt)
+		}
+	}
+	p.allocs = nil
+	p.index = nil
+}
+
+// returnBudget adds budget back to a block's free pool and marks it for
+// redistribution.
+func (s *sim) returnBudget(b *simBlock, amt float64) {
+	if amt <= 0 {
+		return
+	}
+	if b.free == 0 {
+		s.freed = append(s.freed, b)
+	}
+	b.free += amt
+}
+
+// stats finalizes the run's statistics.
+func (s *sim) stats() Stats {
+	st := Stats{
+		Arrived:    s.nextID,
+		Released:   len(s.released),
+		Unfinished: len(s.waiting),
+	}
+	totalTime, totalBudget := 0.0, 0.0
+	for _, p := range s.released {
+		totalTime += float64(p.releasedAt - p.arrived)
+		totalBudget += p.spent
+	}
+	for _, p := range s.waiting {
+		totalTime += float64(s.now - p.arrived) // censored
+	}
+	if n := st.Released + st.Unfinished; n > 0 {
+		st.AvgReleaseTime = totalTime / float64(n)
+	}
+	if st.Released > 0 {
+		st.AvgBudgetSpent = totalBudget / float64(st.Released)
+	}
+	return st
+}
+
+// SweepPoint is one (arrival rate, strategy) measurement for Fig. 8.
+type SweepPoint struct {
+	Rate     float64
+	Strategy Strategy
+	Stats    Stats
+}
+
+// Sweep runs the base configuration across arrival rates and strategies,
+// regenerating one panel of Fig. 8.
+func Sweep(base Config, rates []float64, strategies []Strategy) []SweepPoint {
+	var out []SweepPoint
+	for _, rate := range rates {
+		for _, strat := range strategies {
+			cfg := base
+			cfg.ArrivalRate = rate
+			cfg.Strategy = strat
+			out = append(out, SweepPoint{Rate: rate, Strategy: strat, Stats: Run(cfg)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+)
+
+func baseCfg(strategy Strategy, rate float64) Config {
+	return Config{
+		Strategy:    strategy,
+		BlockSize:   16000, // Taxi-scale hourly blocks
+		ArrivalRate: rate,
+		Hours:       600,
+		Seed:        42,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(baseCfg(BlockConserve, 0.3))
+	b := Run(baseCfg(BlockConserve, 0.3))
+	if a != b {
+		t.Fatalf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestLightLoadReleasesQuickly(t *testing.T) {
+	st := Run(baseCfg(BlockConserve, 0.05))
+	if st.Released == 0 {
+		t.Fatal("no models released under light load")
+	}
+	if st.AvgReleaseTime > 50 {
+		t.Errorf("light-load release time %v h too high", st.AvgReleaseTime)
+	}
+	frac := float64(st.Released) / float64(st.Arrived)
+	if frac < 0.8 {
+		t.Errorf("only %v of pipelines released under light load", frac)
+	}
+}
+
+func TestBlockStrategiesBeatPriorWork(t *testing.T) {
+	// Fig. 8's headline: at moderate load, block composition releases
+	// far faster than query or streaming composition.
+	rate := 0.4
+	conserve := Run(baseCfg(BlockConserve, rate))
+	query := Run(baseCfg(QueryComposition, rate))
+	streaming := Run(baseCfg(StreamingComposition, rate))
+	if conserve.AvgReleaseTime >= query.AvgReleaseTime {
+		t.Errorf("conserve %v h not faster than query %v h",
+			conserve.AvgReleaseTime, query.AvgReleaseTime)
+	}
+	if conserve.AvgReleaseTime >= streaming.AvgReleaseTime {
+		t.Errorf("conserve %v h not faster than streaming %v h",
+			conserve.AvgReleaseTime, streaming.AvgReleaseTime)
+	}
+}
+
+func TestConserveBeatsAggressiveUnderLoad(t *testing.T) {
+	// Fig. 8: at high arrival rates the conserving strategy outperforms
+	// aggressive spending.
+	rate := 0.7
+	conserve := Run(baseCfg(BlockConserve, rate))
+	aggressive := Run(baseCfg(BlockAggressive, rate))
+	if conserve.AvgReleaseTime >= aggressive.AvgReleaseTime {
+		t.Errorf("conserve %v h not below aggressive %v h at rate %v",
+			conserve.AvgReleaseTime, aggressive.AvgReleaseTime, rate)
+	}
+	// And it spends less budget per model.
+	if conserve.AvgBudgetSpent >= aggressive.AvgBudgetSpent {
+		t.Errorf("conserve ε/model %v not below aggressive %v",
+			conserve.AvgBudgetSpent, aggressive.AvgBudgetSpent)
+	}
+}
+
+func TestReleaseTimeGrowsWithLoad(t *testing.T) {
+	for _, strat := range []Strategy{BlockConserve, QueryComposition} {
+		low := Run(baseCfg(strat, 0.1))
+		high := Run(baseCfg(strat, 0.7))
+		if high.AvgReleaseTime <= low.AvgReleaseTime {
+			t.Errorf("%v: release time did not grow with load (%v → %v)",
+				strat, low.AvgReleaseTime, high.AvgReleaseTime)
+		}
+	}
+}
+
+func TestSustainableThroughputConserve(t *testing.T) {
+	// The paper reports Sage sustaining 0.7 models/hour with release
+	// times within a day (~24h) while prior work degrades to multi-day
+	// backlogs.
+	st := Run(baseCfg(BlockConserve, 0.7))
+	if st.AvgReleaseTime > 48 {
+		t.Errorf("conserve at 0.7/h: release time %v h, want < 48", st.AvgReleaseTime)
+	}
+	stream := Run(baseCfg(StreamingComposition, 0.7))
+	if stream.AvgReleaseTime < 2*st.AvgReleaseTime {
+		t.Errorf("streaming at 0.7/h (%v h) should be ≫ conserve (%v h)",
+			stream.AvgReleaseTime, st.AvgReleaseTime)
+	}
+}
+
+func TestBudgetNeverExceedsGlobal(t *testing.T) {
+	// Per-model spend is at most εg under every strategy.
+	for _, strat := range []Strategy{StreamingComposition, QueryComposition, BlockAggressive, BlockConserve} {
+		st := Run(baseCfg(strat, 0.3))
+		if st.AvgBudgetSpent > 1+1e-9 {
+			t.Errorf("%v: avg budget/model %v exceeds εg", strat, st.AvgBudgetSpent)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rates := []float64{0.1, 0.3}
+	strategies := []Strategy{BlockConserve, BlockAggressive}
+	pts := Sweep(baseCfg(BlockConserve, 0.1), rates, strategies)
+	if len(pts) != 4 {
+		t.Fatalf("Sweep returned %d points, want 4", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		seen[pt.Strategy.String()] = true
+		if pt.Stats.Arrived == 0 {
+			t.Errorf("rate %v %v: no arrivals", pt.Rate, pt.Strategy)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("strategies seen: %v", seen)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{Strategy: BlockConserve, BlockSize: 100}, // no rate
+		{Strategy: BlockConserve, ArrivalRate: 1}, // no block size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[Strategy]string{
+		StreamingComposition: "Streaming Composition",
+		QueryComposition:     "Query Composition",
+		BlockAggressive:      "Block/Aggressive",
+		BlockConserve:        "Block/Conserve (Sage)",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestCriteoScaleBlocks(t *testing.T) {
+	// Fig. 8b uses 267K-point hourly blocks; dynamics must still hold.
+	cfg := baseCfg(BlockConserve, 0.5)
+	cfg.BlockSize = 267000
+	st := Run(cfg)
+	if st.Released == 0 {
+		t.Fatal("no releases at Criteo scale")
+	}
+}
