@@ -6,16 +6,20 @@
 //
 // Usage:
 //
-//	sage-experiments -exp tab1|tab2|fig5|fig6|fig7|fig8|all [-scale small|full] [-seed N]
+//	sage-experiments -exp tab1|tab2|fig5|fig6|fig7|fig8|all [-scale small|full] [-seed N] [-workers N]
 //
 // The small scale finishes on a laptop in minutes; full mirrors the
-// paper's grid sizes (hours of compute).
+// paper's grid sizes (hours of compute). Every experiment grid runs on
+// the deterministic parallel engine (internal/parallel): -workers bounds
+// the concurrency (default: all cores) and any value produces
+// bit-identical output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,6 +29,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: tab1, tab2, fig5, fig6, fig7, fig8, all")
 	scale := flag.String("scale", "small", "small (minutes) or full (hours)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines per experiment grid (results identical for any value)")
 	flag.Parse()
 
 	full := *scale == "full"
@@ -46,7 +52,7 @@ func main() {
 	run("tab1", func() { experiments.PrintTable1(os.Stdout) })
 
 	run("fig5", func() {
-		o := experiments.Fig5Options{Seed: *seed}
+		o := experiments.Fig5Options{Seed: *seed, Workers: *workers}
 		if !full {
 			o.Sizes = []int{10000, 50000, 200000}
 			o.Holdout = 50000
@@ -55,7 +61,7 @@ func main() {
 	})
 
 	run("fig6", func() {
-		o := experiments.Fig6Options{Seed: *seed}
+		o := experiments.Fig6Options{Seed: *seed, Workers: *workers}
 		if !full {
 			o.MaxStream = 400000
 			o.TargetsPerConfig = 3
@@ -66,7 +72,7 @@ func main() {
 	})
 
 	run("tab2", func() {
-		o := experiments.Tab2Options{Seed: *seed}
+		o := experiments.Tab2Options{Seed: *seed, Workers: *workers}
 		if !full {
 			o.Runs = 15
 			o.Stream = 120000
@@ -78,7 +84,7 @@ func main() {
 	})
 
 	run("fig7", func() {
-		o := experiments.Fig7Options{Seed: *seed}
+		o := experiments.Fig7Options{Seed: *seed, Workers: *workers}
 		if !full {
 			o.Sizes = []int{20000, 80000, 320000}
 			o.LRBlockSizes = []int{10000, 50000}
@@ -92,7 +98,7 @@ func main() {
 	})
 
 	run("fig8", func() {
-		o := experiments.Fig8Options{Seed: *seed}
+		o := experiments.Fig8Options{Seed: *seed, Workers: *workers}
 		if !full {
 			o.Hours = 800
 		} else {

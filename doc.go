@@ -23,6 +23,31 @@
 // workload simulator (internal/workload) — are all implemented on the
 // Go standard library alone.
 //
+// # Performance architecture
+//
+// Every evaluation sweep (internal/experiments Fig. 5–8, Table 2, and
+// workload.Sweep) runs on the deterministic parallel experiment engine
+// of internal/parallel: the sweep's nested loops are flattened into an
+// indexed grid of independent cells, dispatched to a bounded worker
+// pool, and collected in grid order. Determinism is preserved by
+// construction — each cell derives its RNG with rng.MixSeed from the
+// cell's own coordinates (pipeline, target, mode, size, run), never
+// from scheduling — so any worker count, including 1, produces
+// bit-identical figures. A Workers option on every experiment's
+// Options struct (and -workers on cmd/sage-experiments) bounds the
+// concurrency; the default is runtime.GOMAXPROCS(0). The determinism
+// regression tests in internal/experiments pin this contract down.
+//
+// The substrate's hot kernels are tuned for the sweeps' scale: Gram
+// accumulation exploits outer-product symmetry (upper triangle +
+// one mirror) and one-hot sparsity, Cholesky factorization and solves
+// run on contiguous row slices, power iteration reuses its work
+// buffers, DP-SGD realizes Poisson sampling with geometric skips
+// (O(q·n) draws per step instead of n) and pools its gradient scratch,
+// and the SLAed validators stream over losses without copying.
+// BENCH_baseline.json and BENCH_optimized.json record the measured
+// before/after of `go test -bench=. -benchmem`.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate every table and figure of the paper's

@@ -1,0 +1,120 @@
+package experiments
+
+// Determinism regression tests for the parallel experiment engine: every
+// sweep must produce bit-identical output for any worker count, so
+// parallelism can never silently change a reproduced figure. Each test
+// runs a reduced grid once sequentially (Workers=1) and once heavily
+// oversubscribed (Workers=8, far above this grid's size) and compares
+// the results exactly — floats included, since every cell derives its
+// RNG from its own coordinates rather than from scheduling order.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/validation"
+	"repro/internal/workload"
+)
+
+func TestFig5DeterministicAcrossWorkers(t *testing.T) {
+	base := Fig5Options{
+		Sizes:   []int{5000, 10000},
+		Holdout: 5000,
+		Models:  []string{"Taxi-LR"},
+		Seed:    76,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	a, b := Fig5(seq), Fig5(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig5 output depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+}
+
+func TestFig6DeterministicAcrossWorkers(t *testing.T) {
+	base := Fig6Options{
+		MaxStream:        60000,
+		MinSamples:       5000,
+		Models:           []string{"Taxi-LR"},
+		TargetsPerConfig: 2,
+		Modes:            []validation.Mode{validation.ModeNoSLA, validation.ModeSage},
+		Seed:             77,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	a, b := Fig6(seq), Fig6(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig6 output depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+}
+
+func TestFig7DeterministicAcrossWorkers(t *testing.T) {
+	base := Fig7Options{
+		Sizes:        []int{10000, 20000},
+		LRBlockSizes: []int{5000},
+		Targets:      []float64{0.007},
+		MaxStream:    40000,
+		Holdout:      10000,
+		SkipNN:       true,
+		Seed:         78,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	if a, b := Fig7Quality(seq), Fig7Quality(par); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig7Quality output depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+	if a, b := Fig7Accept(seq), Fig7Accept(par); !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig7Accept output depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+}
+
+func TestTab2DeterministicAcrossWorkers(t *testing.T) {
+	base := Tab2Options{
+		Runs:    3,
+		Stream:  40000,
+		Holdout: 10000,
+		Etas:    []float64{0.05},
+		Modes:   []validation.Mode{validation.ModeNoSLA, validation.ModeSage},
+		Seed:    79,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	a, b := Tab2(seq), Tab2(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Tab2 output depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	base := workload.Config{EpsG: 1, BlockSize: 16000, Hours: 300, Seed: 80}
+	rates := []float64{0.2, 0.5}
+	strategies := []workload.Strategy{
+		workload.StreamingComposition, workload.QueryComposition,
+		workload.BlockAggressive, workload.BlockConserve,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	a := workload.Sweep(seq, rates, strategies)
+	b := workload.Sweep(par, rates, strategies)
+	// Workers differs between the two configs by construction; the
+	// simulated points themselves must not.
+	for i := range a {
+		if a[i].Rate != b[i].Rate || a[i].Strategy != b[i].Strategy || a[i].Stats != b[i].Stats {
+			t.Errorf("Sweep point %d depends on worker count:\nworkers=1: %+v\nworkers=8: %+v",
+				i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) || len(a) != len(rates)*len(strategies) {
+		t.Fatalf("Sweep sizes: %d vs %d, want %d", len(a), len(b), len(rates)*len(strategies))
+	}
+}

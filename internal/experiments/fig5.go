@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/data"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/privacy"
 	"repro/internal/rng"
 	"repro/internal/validation"
@@ -32,6 +34,9 @@ type Fig5Options struct {
 	Models []string
 	// Seed drives data generation and DP noise.
 	Seed uint64
+	// Workers bounds the experiment engine's parallelism (<= 0 means
+	// runtime.GOMAXPROCS(0)). Output is bit-identical for any value.
+	Workers int
 }
 
 func (o *Fig5Options) fill() {
@@ -64,14 +69,39 @@ func (o *Fig5Options) wants(name string) bool {
 // growing data, evaluated on a held-out set.
 func Fig5(o Fig5Options) []Fig5Point {
 	o.fill()
-	var out []Fig5Point
-	for _, cfg := range Configs() {
-		if !o.wants(cfg.Task.String() + "-" + cfg.Name) {
-			continue
+	cfgs := Configs()
+	var selected []int
+	for i, cfg := range cfgs {
+		if o.wants(cfg.Task.String() + "-" + cfg.Name) {
+			selected = append(selected, i)
 		}
-		maxN := o.Sizes[len(o.Sizes)-1]
-		stream := Dataset(cfg.Task, maxN, o.Seed)
-		holdout := Dataset(cfg.Task, o.Holdout, o.Seed+1)
+	}
+
+	// Stage 1: one stream + holdout pair per distinct task (several
+	// pipelines share a task's data), generated in parallel.
+	type pairT struct{ stream, holdout *data.Dataset }
+	maxN := o.Sizes[len(o.Sizes)-1]
+	tasks, taskOf := distinctTasks(cfgs, selected)
+	pairs := parallel.Map(o.Workers, len(tasks), func(i int) pairT {
+		return pairT{
+			stream:  Dataset(tasks[i], maxN, o.Seed),
+			holdout: Dataset(tasks[i], o.Holdout, o.Seed+1),
+		}
+	})
+
+	// Stage 2: flatten the (pipeline × variant × size) grid in output
+	// order; every cell trains and evaluates independently.
+	type cell struct {
+		cfgIdx  int
+		pair    pairT
+		variant string
+		dp      bool
+		eps     float64
+		n       int
+	}
+	var cells []cell
+	for _, cfgIdx := range selected {
+		cfg := cfgs[cfgIdx]
 		variants := []struct {
 			name string
 			dp   bool
@@ -83,22 +113,48 @@ func Fig5(o Fig5Options) []Fig5Point {
 		}
 		for _, v := range variants {
 			for _, n := range o.Sizes {
-				p := cfg.Build(v.dp, cfg.Targets[0], validation.ModeSage)
-				train := stream.Head(n)
-				// Train directly (no validation): Fig. 5 measures
-				// training quality, not acceptance.
-				budget := privacy.Budget{Epsilon: v.eps, Delta: cfg.Delta}
-				r := rng.New(o.Seed + uint64(n) + uint64(v.eps*1000))
-				model := p.Trainer.Train(train, budget, r)
-				q := quality(cfg.Task, model, holdout)
-				out = append(out, Fig5Point{
-					Task: cfg.Task, Model: cfg.Name, Variant: v.name,
-					N: n, Quality: q,
+				cells = append(cells, cell{
+					cfgIdx: cfgIdx, pair: pairs[taskOf[cfg.Task]],
+					variant: v.name, dp: v.dp, eps: v.eps, n: n,
 				})
 			}
 		}
 	}
-	return out
+	return parallel.Map(o.Workers, len(cells), func(i int) Fig5Point {
+		c := cells[i]
+		cfg := cfgs[c.cfgIdx]
+		p := cfg.Build(c.dp, cfg.Targets[0], validation.ModeSage)
+		train := c.pair.stream.Head(c.n)
+		// Train directly (no validation): Fig. 5 measures training
+		// quality, not acceptance.
+		budget := privacy.Budget{Epsilon: c.eps, Delta: cfg.Delta}
+		// The seed mixes the cell's own coordinates — pipeline included,
+		// so variants that share an ε (all LargeEps are 1.0) still get
+		// decorrelated noise across panels.
+		r := rng.New(rng.MixSeed(o.Seed, uint64(c.cfgIdx), uint64(c.n),
+			math.Float64bits(c.eps)))
+		model := p.Trainer.Train(train, budget, r)
+		return Fig5Point{
+			Task: cfg.Task, Model: cfg.Name, Variant: c.variant,
+			N: c.n, Quality: quality(cfg.Task, model, c.pair.holdout),
+		}
+	})
+}
+
+// distinctTasks returns the distinct tasks among the selected configs in
+// first-appearance order, plus a task → index lookup, so dataset
+// generation runs once per task rather than once per pipeline.
+func distinctTasks(cfgs []ModelConfig, selected []int) ([]Task, map[Task]int) {
+	var tasks []Task
+	idx := make(map[Task]int)
+	for _, ci := range selected {
+		t := cfgs[ci].Task
+		if _, ok := idx[t]; !ok {
+			idx[t] = len(tasks)
+			tasks = append(tasks, t)
+		}
+	}
+	return tasks, idx
 }
 
 // quality evaluates a model with the task's metric: MSE for the Taxi

@@ -3,8 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/adaptive"
+	"repro/internal/data"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/validation"
 )
@@ -37,6 +40,9 @@ type Fig6Options struct {
 	// Targets overrides each config's target list (useful for benches).
 	TargetsPerConfig int // 0 = all targets; k = first k targets
 	Seed             uint64
+	// Workers bounds the experiment engine's parallelism (<= 0 means
+	// runtime.GOMAXPROCS(0)). Output is bit-identical for any value.
+	Workers int
 }
 
 func (o *Fig6Options) fill() {
@@ -69,54 +75,89 @@ func (o *Fig6Options) wants(name string) bool {
 	return false
 }
 
+// fig6Cell is one task of the Fig. 6 grid: a (pipeline, target, mode)
+// coordinate plus the shared (read-only) stream it searches over.
+type fig6Cell struct {
+	cfgIdx int // index into Configs(): the cell's stable identity
+	stream *data.Dataset
+	target float64
+	mode   validation.Mode
+}
+
 // Fig6 regenerates the sample-complexity curves of Fig. 6: for each
 // pipeline, target, and validation mode, the data required for
-// privacy-adaptive training to ACCEPT.
+// privacy-adaptive training to ACCEPT. The grid is flattened into
+// independent cells and dispatched through the parallel engine; each
+// cell's RNG is derived from its own coordinates, so the output is
+// bit-identical for any Workers value.
 func Fig6(o Fig6Options) []Fig6Point {
 	o.fill()
-	var out []Fig6Point
-	for _, cfg := range Configs() {
-		name := cfg.Task.String() + "-" + cfg.Name
-		if !o.wants(name) {
-			continue
+
+	// Stage 1: one stream per distinct task (several pipelines share a
+	// task's data), generated in parallel.
+	cfgs := Configs()
+	var selected []int
+	for i, cfg := range cfgs {
+		if o.wants(cfg.Task.String() + "-" + cfg.Name) {
+			selected = append(selected, i)
 		}
-		stream := Dataset(cfg.Task, o.MaxStream, o.Seed)
+	}
+	tasks, taskOf := distinctTasks(cfgs, selected)
+	streams := parallel.Map(o.Workers, len(tasks), func(i int) *data.Dataset {
+		return Dataset(tasks[i], o.MaxStream, o.Seed)
+	})
+
+	// Stage 2: flatten the (pipeline × target × mode) grid in output
+	// order and run every cell's adaptive search concurrently.
+	var cells []fig6Cell
+	for _, cfgIdx := range selected {
+		cfg := cfgs[cfgIdx]
 		targets := cfg.Targets
 		if o.TargetsPerConfig > 0 && o.TargetsPerConfig < len(targets) {
 			targets = targets[:o.TargetsPerConfig]
 		}
 		for _, target := range targets {
 			for _, mode := range o.Modes {
-				// NP SLA uses the non-private trainer (it measures the
-				// cost of statistical rigor alone); the DP modes use
-				// the DP trainer.
-				dp := mode != validation.ModeNPSLA
-				pipe := cfg.Build(dp, target, mode)
-				search := adaptive.Search{
-					Pipe:       pipe,
-					Epsilon0:   cfg.LargeEps / 8,
-					EpsilonCap: cfg.LargeEps,
-					Delta:      cfg.Delta,
-					MinSamples: o.MinSamples,
-					MaxSamples: o.MaxStream,
-				}
-				res, err := search.Run(adaptive.SliceSource{Data: stream},
-					rng.New(o.Seed+uint64(mode)+uint64(target*1e6)))
-				pt := Fig6Point{
-					Task: cfg.Task, Model: cfg.Name,
-					Mode: mode, Target: target,
-				}
-				if err == nil && res.Decision == validation.Accept {
-					pt.Samples = res.Samples
-					pt.Accepted = true
-				} else {
-					pt.Samples = o.MaxStream + 1
-				}
-				out = append(out, pt)
+				cells = append(cells, fig6Cell{
+					cfgIdx: cfgIdx, stream: streams[taskOf[cfg.Task]],
+					target: target, mode: mode,
+				})
 			}
 		}
 	}
-	return out
+	return parallel.Map(o.Workers, len(cells), func(i int) Fig6Point {
+		c := cells[i]
+		cfg := cfgs[c.cfgIdx]
+		// NP SLA uses the non-private trainer (it measures the cost of
+		// statistical rigor alone); the DP modes use the DP trainer.
+		dp := c.mode != validation.ModeNPSLA
+		pipe := cfg.Build(dp, c.target, c.mode)
+		search := adaptive.Search{
+			Pipe:       pipe,
+			Epsilon0:   cfg.LargeEps / 8,
+			EpsilonCap: cfg.LargeEps,
+			Delta:      cfg.Delta,
+			MinSamples: o.MinSamples,
+			MaxSamples: o.MaxStream,
+		}
+		// The cell seed mixes the cell's own coordinates (not its grid
+		// position) so nearby cells get decorrelated streams and a
+		// cell's result does not depend on which other cells run.
+		r := rng.New(rng.MixSeed(o.Seed, uint64(c.cfgIdx),
+			math.Float64bits(c.target), uint64(c.mode)))
+		res, err := search.Run(adaptive.SliceSource{Data: c.stream}, r)
+		pt := Fig6Point{
+			Task: cfg.Task, Model: cfg.Name,
+			Mode: c.mode, Target: c.target,
+		}
+		if err == nil && res.Decision == validation.Accept {
+			pt.Samples = res.Samples
+			pt.Accepted = true
+		} else {
+			pt.Samples = o.MaxStream + 1
+		}
+		return pt
+	})
 }
 
 // PrintFig6 renders the points as the four panels of Fig. 6.

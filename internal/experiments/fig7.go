@@ -8,9 +8,19 @@ import (
 	"repro/internal/data"
 	"repro/internal/linalg"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/privacy"
 	"repro/internal/rng"
 	"repro/internal/validation"
+)
+
+// Cell-seed domain tags: each Fig. 7 sub-grid mixes a distinct tag into
+// rng.MixSeed so no two panels can ever share a noise stream.
+const (
+	fig7DomainLRQuality = 1 + iota
+	fig7DomainNNQuality
+	fig7DomainAcceptTrain
+	fig7DomainAcceptProbe
 )
 
 // Fig. 7 compares Sage's block composition — one noise draw over the
@@ -59,6 +69,9 @@ type Fig7Options struct {
 	// SkipNN drops the (expensive) NN panel.
 	SkipNN bool
 	Seed   uint64
+	// Workers bounds the experiment engine's parallelism (<= 0 means
+	// runtime.GOMAXPROCS(0)). Output is bit-identical for any value.
+	Workers int
 }
 
 func (o *Fig7Options) fill() {
@@ -158,56 +171,85 @@ func trainNNBlockwise(ds *data.Dataset, blockSize int, eps, delta float64, dim i
 	return ref
 }
 
-// Fig7Quality regenerates the training-quality panels (7a, 7c).
+// Fig7Quality regenerates the training-quality panels (7a, 7c). The
+// (size × composition-mode) grid is flattened and dispatched through the
+// parallel engine; cell seeds mix the cell's own coordinates through
+// splitmix64, so neighboring cells get decorrelated noise streams and
+// the output is bit-identical for any Workers value.
 func Fig7Quality(o Fig7Options) []Fig7QualityPoint {
 	o.fill()
 	maxN := o.Sizes[len(o.Sizes)-1]
-	stream := Dataset(TaxiRegression, maxN, o.Seed)
-	holdout := Dataset(TaxiRegression, o.Holdout, o.Seed+1)
+	var stream, holdout *data.Dataset
+	parallel.ForEach(o.Workers, 2, func(i int) {
+		if i == 0 {
+			stream = Dataset(TaxiRegression, maxN, o.Seed)
+		} else {
+			holdout = Dataset(TaxiRegression, o.Holdout, o.Seed+1)
+		}
+	})
 	const eps, delta = 1.0, 1e-6
-	var out []Fig7QualityPoint
 
+	// One cell per point, in output order: the LR panel (block + each
+	// query block size, per training size), then the NN panel.
+	type cell struct {
+		model string
+		n, bs int // bs = 0 for block composition
+	}
+	var cells []cell
 	for _, n := range o.Sizes {
-		train := stream.Head(n)
-		r := rng.New(o.Seed + uint64(n))
-		// LR, block composition: one AdaSSP run over the whole set.
-		m := ml.TrainAdaSSP(train, ml.AdaSSPConfig{
-			Budget: privacy.Budget{Epsilon: eps, Delta: delta},
-			Rho:    0.1, FeatureBound: 2.5, LabelBound: 1,
-		}, r)
-		out = append(out, Fig7QualityPoint{
-			Model: "LR", Mode: "Block Comp.", N: n, MSE: ml.MSE(m, holdout),
-		})
-		// LR, query composition at each block size.
+		cells = append(cells, cell{model: "LR", n: n})
 		for _, bs := range o.LRBlockSizes {
-			qm := trainLRBlockwise(train, bs, eps, delta, rng.New(o.Seed+uint64(n+bs)))
-			out = append(out, Fig7QualityPoint{
-				Model: "LR", Mode: fmt.Sprintf("Query Comp. %s", human(bs)),
-				N: n, MSE: ml.MSE(qm, holdout), BlockSize: bs,
-			})
+			cells = append(cells, cell{model: "LR", n: n, bs: bs})
 		}
 	}
 	if !o.SkipNN {
 		for _, n := range o.Sizes {
-			train := stream.Head(n)
+			cells = append(cells, cell{model: "NN", n: n})
+			cells = append(cells, cell{model: "NN", n: n, bs: o.NNBlockSize})
+		}
+	}
+	return parallel.Map(o.Workers, len(cells), func(i int) Fig7QualityPoint {
+		c := cells[i]
+		train := stream.Head(c.n)
+		if c.model == "LR" {
+			r := rng.New(rng.MixSeed(o.Seed, fig7DomainLRQuality, uint64(c.n), uint64(c.bs)))
+			var m ml.Model
+			if c.bs == 0 {
+				// Block composition: one AdaSSP run over the whole set.
+				m = ml.TrainAdaSSP(train, ml.AdaSSPConfig{
+					Budget: privacy.Budget{Epsilon: eps, Delta: delta},
+					Rho:    0.1, FeatureBound: 2.5, LabelBound: 1,
+				}, r)
+				return Fig7QualityPoint{
+					Model: "LR", Mode: "Block Comp.", N: c.n, MSE: ml.MSE(m, holdout),
+				}
+			}
+			qm := trainLRBlockwise(train, c.bs, eps, delta, r)
+			return Fig7QualityPoint{
+				Model: "LR", Mode: fmt.Sprintf("Query Comp. %s", human(c.bs)),
+				N: c.n, MSE: ml.MSE(qm, holdout), BlockSize: c.bs,
+			}
+		}
+		// NN panel: same init seed across cells (the paper compares
+		// aggregation, not initialization), per-cell training streams.
+		r := rng.New(rng.MixSeed(o.Seed, fig7DomainNNQuality, uint64(c.n), uint64(c.bs)))
+		if c.bs == 0 {
 			nn := ml.NewMLP(ml.Regression, stream.FeatureDim(), taxiHidden, rng.New(o.Seed+7))
 			ml.TrainSGD(nn, train, ml.SGDConfig{
 				LearningRate: 0.01, Momentum: 0.9, Epochs: 3, BatchSize: 1024,
 				DP: true, ClipNorm: 1,
 				Budget: privacy.Budget{Epsilon: eps, Delta: delta},
-			}, rng.New(o.Seed+uint64(n)+3))
-			out = append(out, Fig7QualityPoint{
-				Model: "NN", Mode: "Block Comp.", N: n, MSE: ml.MSE(nn, holdout),
-			})
-			qm := trainNNBlockwise(train, o.NNBlockSize, eps, delta,
-				stream.FeatureDim(), o.Seed+7, rng.New(o.Seed+uint64(n)+4))
-			out = append(out, Fig7QualityPoint{
-				Model: "NN", Mode: fmt.Sprintf("Query Comp. %s", human(o.NNBlockSize)),
-				N: n, MSE: ml.MSE(qm, holdout), BlockSize: o.NNBlockSize,
-			})
+			}, r)
+			return Fig7QualityPoint{
+				Model: "NN", Mode: "Block Comp.", N: c.n, MSE: ml.MSE(nn, holdout),
+			}
 		}
-	}
-	return out
+		qm := trainNNBlockwise(train, c.bs, eps, delta, stream.FeatureDim(), o.Seed+7, r)
+		return Fig7QualityPoint{
+			Model: "NN", Mode: fmt.Sprintf("Query Comp. %s", human(c.bs)),
+			N: c.n, MSE: ml.MSE(qm, holdout), BlockSize: c.bs,
+		}
+	})
 }
 
 // queryCompAccept reports whether a query-composition SLAed validation
@@ -252,15 +294,20 @@ func queryCompAccept(trueLoss float64, n, bs int, target, epsilon, eta float64, 
 func Fig7Accept(o Fig7Options) []Fig7AcceptPoint {
 	o.fill()
 	const eps, eta = 0.5, 0.05
-	var out []Fig7AcceptPoint
-	stream := Dataset(TaxiRegression, o.MaxStream, o.Seed+5)
-	holdout := Dataset(TaxiRegression, o.Holdout, o.Seed+6)
+	var stream, holdout *data.Dataset
+	parallel.ForEach(o.Workers, 2, func(i int) {
+		if i == 0 {
+			stream = Dataset(TaxiRegression, o.MaxStream, o.Seed+5)
+		} else {
+			holdout = Dataset(TaxiRegression, o.Holdout, o.Seed+6)
+		}
+	})
 	// Train the best affordable LR once on the full stream to get the
 	// loss profile being validated.
 	m := ml.TrainAdaSSP(stream, ml.AdaSSPConfig{
 		Budget: privacy.Budget{Epsilon: 0.5, Delta: 1e-6},
 		Rho:    0.1, FeatureBound: 2.5, LabelBound: 1,
-	}, rng.New(o.Seed+8))
+	}, rng.New(rng.MixSeed(o.Seed, fig7DomainAcceptTrain)))
 	trueLoss := ml.MSE(m, holdout)
 
 	modes := []struct {
@@ -274,31 +321,41 @@ func Fig7Accept(o Fig7Options) []Fig7AcceptPoint {
 		}{fmt.Sprintf("Query Comp. %s", human(bs)), bs})
 	}
 
+	// One cell per (target, composition mode); each cell's doubling
+	// search draws per-probe noise seeded by its own coordinates.
+	type cell struct {
+		target float64
+		mode   int
+	}
+	var cells []cell
 	for _, target := range o.Targets {
-		for _, mode := range modes {
-			accepted := false
-			samples := o.MaxStream + 1
-			for n := 10000; n <= o.MaxStream; n *= 2 {
-				r := rng.New(o.Seed + uint64(n) + uint64(mode.bs))
-				var ok bool
-				if mode.bs == 0 {
-					ok = queryCompAccept(trueLoss, n, n, target, eps, eta, r)
-				} else {
-					ok = queryCompAccept(trueLoss, n, mode.bs, target, eps, eta, r)
-				}
-				if ok {
-					accepted = true
-					samples = n
-					break
-				}
-			}
-			out = append(out, Fig7AcceptPoint{
-				Model: "LR", Mode: mode.name, Target: target,
-				Samples: samples, Accepted: accepted, BlockSize: mode.bs,
-			})
+		for mi := range modes {
+			cells = append(cells, cell{target: target, mode: mi})
 		}
 	}
-	return out
+	return parallel.Map(o.Workers, len(cells), func(i int) Fig7AcceptPoint {
+		c := cells[i]
+		mode := modes[c.mode]
+		accepted := false
+		samples := o.MaxStream + 1
+		for n := 10000; n <= o.MaxStream; n *= 2 {
+			r := rng.New(rng.MixSeed(o.Seed, fig7DomainAcceptProbe,
+				math.Float64bits(c.target), uint64(n), uint64(mode.bs)))
+			bs := mode.bs
+			if bs == 0 {
+				bs = n // block composition: the test set is one block
+			}
+			if queryCompAccept(trueLoss, n, bs, c.target, eps, eta, r) {
+				accepted = true
+				samples = n
+				break
+			}
+		}
+		return Fig7AcceptPoint{
+			Model: "LR", Mode: mode.name, Target: c.target,
+			Samples: samples, Accepted: accepted, BlockSize: mode.bs,
+		}
+	})
 }
 
 // human formats sample counts like the paper's axis labels.

@@ -16,6 +16,9 @@ type Fig8Options struct {
 	// Hours is the simulation horizon per point (default 1000).
 	Hours int
 	Seed  uint64
+	// Workers bounds the sweep's parallelism (<= 0 means
+	// runtime.GOMAXPROCS(0)). Output is bit-identical for any value.
+	Workers int
 }
 
 func (o *Fig8Options) fill() {
@@ -53,9 +56,11 @@ func Fig8(o Fig8Options) Fig8Result {
 	}
 	taxiBase := workload.Config{
 		EpsG: 1.0, BlockSize: 16000, Hours: o.Hours, Seed: o.Seed,
+		Workers: o.Workers,
 	}
 	criteoBase := workload.Config{
 		EpsG: 1.0, BlockSize: 267000, Hours: o.Hours, Seed: o.Seed + 1,
+		Workers: o.Workers,
 	}
 	return Fig8Result{
 		Taxi:   workload.Sweep(taxiBase, o.TaxiRates, strategies),

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/data"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/validation"
 )
@@ -36,6 +37,9 @@ type Tab2Options struct {
 	// Modes to compare (default all four).
 	Modes []validation.Mode
 	Seed  uint64
+	// Workers bounds the experiment engine's parallelism (<= 0 means
+	// runtime.GOMAXPROCS(0)). Output is bit-identical for any value.
+	Workers int
 }
 
 func (o *Tab2Options) fill() {
@@ -73,45 +77,93 @@ func (o *Tab2Options) fill() {
 // more compute; the paper aggregates across its pipelines.
 func Tab2(o Tab2Options) []Tab2Row {
 	o.fill()
-	var rows []Tab2Row
-	for _, cfg := range Configs() {
-		if cfg.Name != "LR" && cfg.Name != "LG" {
-			continue
+	cfgs := Configs()
+	var selected []int
+	for i, cfg := range cfgs {
+		if cfg.Name == "LR" || cfg.Name == "LG" {
+			selected = append(selected, i)
 		}
-		holdout := Dataset(cfg.Task, o.Holdout, o.Seed+999)
+	}
+
+	// Stage 1: one re-evaluation holdout per task, generated in parallel.
+	holdouts := parallel.Map(o.Workers, len(selected), func(i int) *data.Dataset {
+		return Dataset(cfgs[selected[i]].Task, o.Holdout, o.Seed+999)
+	})
+
+	// Stage 2: flatten the (task × η × mode × run) grid. Every run is an
+	// independent privacy-adaptive training over its own stream sample —
+	// the dominant cost — so runs fan out across workers and the
+	// accept/violate outcomes are folded back in grid order afterwards.
+	type cell struct {
+		cfgIdx, holdIdx int
+		eta             float64
+		mode            validation.Mode
+		run             int
+	}
+	var cells []cell
+	for i, cfgIdx := range selected {
+		for _, eta := range o.Etas {
+			for _, mode := range o.Modes {
+				for run := 0; run < o.Runs; run++ {
+					cells = append(cells, cell{
+						cfgIdx: cfgIdx, holdIdx: i,
+						eta: eta, mode: mode, run: run,
+					})
+				}
+			}
+		}
+	}
+	type outcome struct{ accepted, violated bool }
+	outcomes := parallel.Map(o.Workers, len(cells), func(i int) outcome {
+		c := cells[i]
+		cfg := cfgs[c.cfgIdx]
+		seed := o.Seed + uint64(c.run)*31 + uint64(c.mode)*7 + uint64(c.eta*1000)
+		stream := Dataset(cfg.Task, o.Stream, seed)
+		// Hard targets near the frontier: the last (tightest) two of
+		// the config's range, alternating per run.
+		target := cfg.Targets[len(cfg.Targets)-1-c.run%2]
+		dp := c.mode != validation.ModeNPSLA
+		pipe := cfg.Build(dp, target, c.mode)
+		pipe.Eta = c.eta
+		search := adaptive.Search{
+			Pipe:       pipe,
+			Epsilon0:   cfg.LargeEps / 8,
+			EpsilonCap: cfg.LargeEps,
+			Delta:      cfg.Delta,
+			MinSamples: 5000,
+		}
+		res, err := search.Run(adaptive.SliceSource{Data: stream}, rng.New(seed))
+		if err != nil || res.Decision != validation.Accept {
+			return outcome{}
+		}
+		model := res.Model.(ml.Model)
+		return outcome{
+			accepted: true,
+			violated: violates(cfg.Task, model, holdouts[c.holdIdx], target),
+		}
+	})
+
+	// Stage 3: fold the per-run outcomes into Table 2 rows, in the same
+	// order the sequential nest produced them.
+	var rows []Tab2Row
+	next := 0
+	for _, cfgIdx := range selected {
 		for _, eta := range o.Etas {
 			row := Tab2Row{
-				Task: cfg.Task, Eta: eta,
+				Task: cfgs[cfgIdx].Task, Eta: eta,
 				ViolationRate: make(map[validation.Mode]float64),
 				Accepts:       make(map[validation.Mode]int),
 			}
 			for _, mode := range o.Modes {
 				violations, accepts := 0, 0
 				for run := 0; run < o.Runs; run++ {
-					seed := o.Seed + uint64(run)*31 + uint64(mode)*7 + uint64(eta*1000)
-					stream := Dataset(cfg.Task, o.Stream, seed)
-					// Hard targets near the frontier: the last
-					// (tightest) two of the config's range,
-					// alternating per run.
-					target := cfg.Targets[len(cfg.Targets)-1-run%2]
-					dp := mode != validation.ModeNPSLA
-					pipe := cfg.Build(dp, target, mode)
-					pipe.Eta = eta
-					search := adaptive.Search{
-						Pipe:       pipe,
-						Epsilon0:   cfg.LargeEps / 8,
-						EpsilonCap: cfg.LargeEps,
-						Delta:      cfg.Delta,
-						MinSamples: 5000,
-					}
-					res, err := search.Run(adaptive.SliceSource{Data: stream}, rng.New(seed))
-					if err != nil || res.Decision != validation.Accept {
-						continue
-					}
-					accepts++
-					model := res.Model.(ml.Model)
-					if violates(cfg.Task, model, holdout, target) {
-						violations++
+					oc := outcomes[next]
+					next++
+					if oc.accepted {
+						accepts++
+						if oc.violated {
+							violations++
+						}
 					}
 				}
 				row.Accepts[mode] = accepts

@@ -73,15 +73,24 @@ func (m *Matrix) Clone() *Matrix {
 
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	m.MulVecInto(out, x)
+	return out
+}
+
+// MulVecInto computes dst = m·x without allocating. dst must have length
+// m.Rows; iterative callers (power iteration) reuse it across calls.
+func (m *Matrix) MulVecInto(dst, x []float64) {
 	if len(x) != m.Cols {
 		panic("linalg: MulVec dimension mismatch")
 	}
-	out := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic("linalg: MulVecInto destination length mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		out[i] = Dot(row, x)
+		dst[i] = Dot(row, x)
 	}
-	return out
 }
 
 // AddDiagonal adds lambda to every diagonal element in place.
@@ -112,16 +121,71 @@ func (m *Matrix) Symmetrize() {
 }
 
 // Gram accumulates xᵀx into m (outer product of the row vector x),
-// i.e. m += x·xᵀ. m must be square with dimension len(x).
+// i.e. m += x·xᵀ. m must be square with dimension len(x). Callers that
+// accumulate many outer products should prefer GramUpper in the loop
+// followed by one MirrorUpper — the outer product is symmetric, so the
+// full update does twice the necessary work.
 func (m *Matrix) Gram(x []float64) {
 	if m.Rows != len(x) || m.Cols != len(x) {
 		panic("linalg: Gram dimension mismatch")
 	}
-	for i := range x {
-		base := i * m.Cols
-		for j := range x {
-			m.Data[base+j] += x[i] * x[j]
+	for i, xi := range x {
+		if xi == 0 {
+			continue
 		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		axpyUnrolled(xi, x, row)
+	}
+}
+
+// GramUpper accumulates only the upper triangle (j >= i) of x·xᵀ into m:
+// half the FLOPs of Gram. Zero components of x are skipped, which makes
+// accumulation over one-hot-heavy feature vectors (the Taxi/Criteo
+// bucketized features) nearly linear in the number of active features.
+// Call MirrorUpper once after the accumulation loop to restore the full
+// symmetric matrix.
+func (m *Matrix) GramUpper(x []float64) {
+	if m.Rows != len(x) || m.Cols != len(x) {
+		panic("linalg: Gram dimension mismatch")
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		// Row slice from the diagonal: m[i][i:] += xi * x[i:].
+		axpyUnrolled(xi, x[i:], m.Data[i*m.Cols+i:(i+1)*m.Cols])
+	}
+}
+
+// MirrorUpper copies the strict upper triangle onto the lower one,
+// completing a matrix accumulated with GramUpper.
+func (m *Matrix) MirrorUpper() {
+	if m.Rows != m.Cols {
+		panic("linalg: MirrorUpper requires a square matrix")
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Data[j*n+i] = m.Data[i*n+j]
+		}
+	}
+}
+
+// axpyUnrolled computes y += alpha·x for equal-length slices with a
+// 4-wide unrolled loop. Unlike AXPY it assumes the caller already
+// matched the lengths; the unrolling keeps the Gram inner loop fed
+// without per-element bounds checks.
+func axpyUnrolled(alpha float64, x, y []float64) {
+	y = y[:len(x)]
+	j := 0
+	for ; j+4 <= len(x); j += 4 {
+		y[j] += alpha * x[j]
+		y[j+1] += alpha * x[j+1]
+		y[j+2] += alpha * x[j+2]
+		y[j+3] += alpha * x[j+3]
+	}
+	for ; j < len(x); j++ {
+		y[j] += alpha * x[j]
 	}
 }
 
@@ -135,21 +199,25 @@ func Cholesky(m *Matrix) (*Matrix, bool) {
 	n := m.Rows
 	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
-		sum := m.At(j, j)
-		for k := 0; k < j; k++ {
-			sum -= l.At(j, k) * l.At(j, k)
+		// Row slices keep the inner dot products on contiguous memory
+		// instead of paying an index multiply per At() access.
+		lj := l.Data[j*n : j*n+j]
+		sum := m.Data[j*n+j]
+		for _, v := range lj {
+			sum -= v * v
 		}
 		if sum <= 1e-14 {
 			return nil, false
 		}
 		diag := math.Sqrt(sum)
-		l.Set(j, j, diag)
+		l.Data[j*n+j] = diag
 		for i := j + 1; i < n; i++ {
-			s := m.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+			li := l.Data[i*n : i*n+j]
+			s := m.Data[i*n+j]
+			for k := range lj {
+				s -= li[k] * lj[k]
 			}
-			l.Set(i, j, s/diag)
+			l.Data[i*n+j] = s / diag
 		}
 	}
 	return l, true
@@ -162,23 +230,25 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 	if len(b) != n {
 		panic("linalg: SolveCholesky dimension mismatch")
 	}
-	// Forward: L·y = b.
+	// Forward: L·y = b, with each row of L as one contiguous slice.
 	y := make([]float64, n)
 	for i := 0; i < n; i++ {
+		row := l.Data[i*n : i*n+i]
 		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
+		for k, v := range row {
+			s -= v * y[k]
 		}
-		y[i] = s / l.At(i, i)
+		y[i] = s / l.Data[i*n+i]
 	}
-	// Backward: Lᵀ·x = y.
+	// Backward: Lᵀ·x = y. Lᵀ's rows are L's columns, so walk column i
+	// with a strided index rather than At() per element.
 	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
+			s -= l.Data[k*n+i] * x[k]
 		}
-		x[i] = s / l.At(i, i)
+		x[i] = s / l.Data[i*n+i]
 	}
 	return x
 }
@@ -221,18 +291,21 @@ func MaxEigen(m *Matrix, iters int) float64 {
 		// Deterministic non-degenerate start vector.
 		v[i] = 1 / math.Sqrt(float64(n)) * (1 + 0.01*float64(i%7))
 	}
-	lambda := 0.0
+	// Two ping-pong buffers: the loop allocates nothing, and the
+	// Rayleigh quotient is only evaluated once convergence iterations
+	// are done (intermediate quotients were discarded anyway).
+	w := make([]float64, n)
 	for it := 0; it < iters; it++ {
-		w := m.MulVec(v)
+		m.MulVecInto(w, v)
 		norm := Norm2(w)
 		if norm == 0 {
 			return 0
 		}
 		Scale(1/norm, w)
-		lambda = Dot(w, m.MulVec(w))
-		v = w
+		v, w = w, v
 	}
-	return lambda
+	m.MulVecInto(w, v)
+	return Dot(v, w)
 }
 
 // MinEigen estimates the smallest eigenvalue of a symmetric

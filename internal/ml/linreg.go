@@ -38,9 +38,10 @@ func TrainRidge(ds *data.Dataset, cfg RidgeConfig) *LinearModel {
 	for _, ex := range ds.Examples {
 		copy(row, ex.Features)
 		row[d] = 1
-		xtx.Gram(row)
+		xtx.GramUpper(row)
 		linalg.AXPY(ex.Label, row, xty)
 	}
+	xtx.MirrorUpper()
 	xtx.AddDiagonal(cfg.Lambda + 1e-9)
 	w := linalg.SolveSPD(xtx, xty)
 	return &LinearModel{Weights: w[:d], Bias: w[d]}
@@ -92,9 +93,10 @@ func TrainAdaSSP(ds *data.Dataset, cfg AdaSSPConfig, r *rng.RNG) *LinearModel {
 		row[d] = fscale // constant feature, also scaled to stay in the ball
 		privacy.ClipL2(row, 1)
 		y := privacy.Clip(ex.Label*lscale, -1, 1)
-		xtx.Gram(row)
+		xtx.GramUpper(row)
 		linalg.AXPY(y, row, xty)
 	}
+	xtx.MirrorUpper()
 
 	eps3 := cfg.Budget.Epsilon / 3
 	logTerm := math.Log(6 / cfg.Budget.Delta)

@@ -2,6 +2,8 @@ package ml
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/data"
 	"repro/internal/privacy"
@@ -56,6 +58,37 @@ func (cfg SGDConfig) NoiseMultiplier(n int) float64 {
 	return privacy.CalibrateSGDNoise(plan, cfg.Budget.Epsilon, cfg.Budget.Delta)
 }
 
+// sgdScratch holds the per-training-run work buffers. Experiment sweeps
+// invoke TrainSGD once per grid cell (thousands of times for Tab. 2 /
+// Fig. 6), so the buffers are pooled instead of reallocated per call;
+// contents are (re)initialized on checkout, keeping training
+// deterministic.
+type sgdScratch struct {
+	velocity, grad, batchGrad []float64
+}
+
+var sgdScratchPool = sync.Pool{New: func() any { return new(sgdScratch) }}
+
+// getSGDScratch returns buffers of length p: velocity zeroed (momentum
+// must start at rest), grad and batchGrad with stale pooled contents —
+// Grad fully overwrites grad, and TrainSGD re-zeroes batchGrad at the
+// start of every step.
+func getSGDScratch(p int) *sgdScratch {
+	s := sgdScratchPool.Get().(*sgdScratch)
+	if cap(s.velocity) < p {
+		s.velocity = make([]float64, p)
+		s.grad = make([]float64, p)
+		s.batchGrad = make([]float64, p)
+	}
+	s.velocity = s.velocity[:p]
+	s.grad = s.grad[:p]
+	s.batchGrad = s.batchGrad[:p]
+	for i := range s.velocity {
+		s.velocity[i] = 0
+	}
+	return s
+}
+
 // TrainSGD trains the model in place and returns it. The trainer is
 // deterministic given the RNG.
 func TrainSGD(model GradModel, ds *data.Dataset, cfg SGDConfig, r *rng.RNG) GradModel {
@@ -66,9 +99,11 @@ func TrainSGD(model GradModel, ds *data.Dataset, cfg SGDConfig, r *rng.RNG) Grad
 	}
 	params := model.Params()
 	p := len(params)
-	velocity := make([]float64, p)
-	grad := make([]float64, p)
-	batchGrad := make([]float64, p)
+	scratch := getSGDScratch(p)
+	defer sgdScratchPool.Put(scratch)
+	velocity := scratch.velocity
+	grad := scratch.grad
+	batchGrad := scratch.batchGrad
 
 	sigma := 0.0
 	if cfg.DP {
@@ -89,12 +124,12 @@ func TrainSGD(model GradModel, ds *data.Dataset, cfg SGDConfig, r *rng.RNG) Grad
 			}
 			count := 0
 			if cfg.DP {
-				// Poisson sampling: include each example with
-				// probability q, matching the RDP analysis.
-				for i := 0; i < n; i++ {
-					if !r.Bool(q) {
-						continue
-					}
+				// Poisson sampling: include each example independently
+				// with probability q, matching the RDP analysis. The
+				// membership draws are realized by geometric skips —
+				// floor(ln U / ln(1-q)) misses between hits — so a step
+				// costs O(q·n) RNG draws instead of n Bernoulli draws.
+				for i := nextPoisson(r, q, -1); i < n; i = nextPoisson(r, q, i) {
 					ex := ds.Examples[i]
 					model.Grad(ex.Features, ex.Label, grad)
 					privacy.ClipL2(grad, cfg.ClipNorm)
@@ -138,6 +173,24 @@ func TrainSGD(model GradModel, ds *data.Dataset, cfg SGDConfig, r *rng.RNG) Grad
 		}
 	}
 	return model
+}
+
+// nextPoisson returns the index after cur of the next example selected
+// by Poisson sampling with rate q, or a value >= n-proof sentinel
+// (math.MaxInt32) when the skip runs past any realistic dataset. The
+// skip length is geometric: floor(ln U / ln(1-q)) with U uniform in
+// (0, 1], which reproduces independent per-example Bernoulli(q)
+// membership with one draw per selected example.
+func nextPoisson(r *rng.RNG, q float64, cur int) int {
+	if q >= 1 {
+		return cur + 1 // every example is selected
+	}
+	u := 1 - r.Float64() // (0, 1]: never take log of zero
+	skip := math.Log(u) / math.Log1p(-q)
+	if skip >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return cur + 1 + int(skip)
 }
 
 // Cost returns the privacy cost of one training run: the configured

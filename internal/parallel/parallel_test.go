@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Errorf("Map over empty grid = %v, want nil", got)
+	}
+	ForEach(4, -1, func(i int) { t.Error("ForEach called fn on empty grid") })
+}
+
+func TestForEachRunsEachOnce(t *testing.T) {
+	var calls [500]atomic.Int32
+	ForEach(8, len(calls), func(i int) { calls[i].Add(1) })
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestForEachActuallyParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-core machine")
+	}
+	// Two tasks that only finish if they overlap in time.
+	var inFlight atomic.Int32
+	overlapped := atomic.Bool{}
+	ForEach(2, 2, func(i int) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if inFlight.Load() == 2 {
+				overlapped.Store(true)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if !overlapped.Load() {
+		t.Error("tasks never overlapped with workers=2")
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}

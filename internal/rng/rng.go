@@ -46,6 +46,24 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// MixSeed combines a base seed and task coordinates (grid indices,
+// parameter bit patterns, mode values) into one well-mixed 64-bit seed
+// by absorbing each part through splitmix64. Neighboring coordinates
+// yield decorrelated seeds, unlike additive schemes such as
+// seed+i+j*1e6 where nearby cells collide or share low bits. The
+// parallel experiment engine derives each task's RNG as
+// rng.New(rng.MixSeed(seed, coords...)), which depends only on the
+// task's own coordinates — never on scheduling — so sweeps are
+// bit-identical for any worker count.
+func MixSeed(parts ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // π fractional bits: arbitrary non-zero offset
+	for _, p := range parts {
+		x := h ^ p
+		h = splitmix64(&x)
+	}
+	return h
+}
+
 // Split returns a new RNG whose stream is independent of the parent's
 // future output. Successive calls return distinct streams.
 func (r *RNG) Split() *RNG {

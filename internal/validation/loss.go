@@ -18,10 +18,19 @@ type LossValidator struct {
 	B float64
 }
 
-// lossStats aggregates clipped per-example losses.
+// lossStats aggregates clipped per-example losses. The clamp is inlined
+// and streamed over the caller's slice — no clipped working copy is
+// allocated, since ACCEPT runs once per validation round over up to
+// millions of losses.
 func (v LossValidator) lossStats(losses []float64) (sum float64, n float64) {
+	b := v.B
 	for _, l := range losses {
-		sum += privacy.Clip(l, 0, v.B)
+		if l < 0 {
+			l = 0
+		} else if l > b {
+			l = b
+		}
+		sum += l
 	}
 	return sum, float64(len(losses))
 }

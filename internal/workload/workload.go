@@ -30,6 +30,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -91,6 +92,10 @@ type Config struct {
 	Hours int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers bounds Sweep's parallelism across (rate, strategy) cells
+	// (<= 0 means runtime.GOMAXPROCS(0)). A single Run is always
+	// sequential; Sweep's output is bit-identical for any value.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -495,16 +500,24 @@ type SweepPoint struct {
 }
 
 // Sweep runs the base configuration across arrival rates and strategies,
-// regenerating one panel of Fig. 8.
+// regenerating one panel of Fig. 8. The (rate × strategy) grid runs on
+// base.Workers goroutines; every cell simulates from its own RNG seeded
+// by base.Seed, so the points are bit-identical for any worker count.
 func Sweep(base Config, rates []float64, strategies []Strategy) []SweepPoint {
-	var out []SweepPoint
+	type cell struct {
+		rate  float64
+		strat Strategy
+	}
+	var cells []cell
 	for _, rate := range rates {
 		for _, strat := range strategies {
-			cfg := base
-			cfg.ArrivalRate = rate
-			cfg.Strategy = strat
-			out = append(out, SweepPoint{Rate: rate, Strategy: strat, Stats: Run(cfg)})
+			cells = append(cells, cell{rate: rate, strat: strat})
 		}
 	}
-	return out
+	return parallel.Map(base.Workers, len(cells), func(i int) SweepPoint {
+		cfg := base
+		cfg.ArrivalRate = cells[i].rate
+		cfg.Strategy = cells[i].strat
+		return SweepPoint{Rate: cells[i].rate, Strategy: cells[i].strat, Stats: Run(cfg)}
+	})
 }
