@@ -6,31 +6,52 @@
 //
 // Usage:
 //
-//	sage-experiments -exp tab1|tab2|fig5|fig6|fig7|fig8|all [-scale small|full] [-seed N] [-workers N]
+//	sage-experiments -exp tab1|tab2|fig5|fig6|fig7|fig8|all [-scale small|full] [-seed N] [-workers N] [-pipeline=false]
 //
 // The small scale finishes on a laptop in minutes; full mirrors the
 // paper's grid sizes (hours of compute). Every experiment grid runs on
 // the deterministic parallel engine (internal/parallel): -workers bounds
 // the concurrency (default: all cores) and any value produces
 // bit-identical output.
+//
+// With -exp all, the experiments share one process-wide scheduler
+// (parallel.SetGlobal) and run concurrently, pipelined across each
+// other: the tail of one experiment's grid overlaps the head of the
+// next instead of idling at a per-experiment barrier. Each experiment
+// writes into its own buffer and the buffers are flushed to stdout in
+// the canonical order, so stdout is byte-identical to a sequential run
+// (-pipeline=false) for any -workers value. Timing and the DP-SGD
+// calibration-cache report go to stderr.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/privacy"
 )
+
+// experiment is one runnable unit: it writes its figure/table to w.
+type experiment struct {
+	name string
+	fn   func(w io.Writer)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: tab1, tab2, fig5, fig6, fig7, fig8, all")
 	scale := flag.String("scale", "small", "small (minutes) or full (hours)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"worker goroutines per experiment grid (results identical for any value)")
+		"worker goroutines for the experiment scheduler (results identical for any value)")
+	pipeline := flag.Bool("pipeline", true,
+		"run selected experiments concurrently on one shared scheduler (stdout bytes unchanged)")
 	flag.Parse()
 
 	full := *scale == "full"
@@ -39,71 +60,120 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(name string, fn func()) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		start := time.Now()
-		fmt.Printf("==== %s (scale=%s) ====\n", name, *scale)
-		fn()
-		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	all := []experiment{
+		{"tab1", func(w io.Writer) { experiments.PrintTable1(w) }},
+		{"fig5", func(w io.Writer) {
+			o := experiments.Fig5Options{Seed: *seed, Workers: *workers}
+			if !full {
+				o.Sizes = []int{10000, 50000, 200000}
+				o.Holdout = 50000
+			}
+			experiments.PrintFig5(w, experiments.Fig5(o))
+		}},
+		{"fig6", func(w io.Writer) {
+			o := experiments.Fig6Options{Seed: *seed, Workers: *workers}
+			if !full {
+				o.MaxStream = 400000
+				o.TargetsPerConfig = 3
+			} else {
+				o.MaxStream = 2000000
+			}
+			experiments.PrintFig6(w, experiments.Fig6(o))
+		}},
+		{"tab2", func(w io.Writer) {
+			o := experiments.Tab2Options{Seed: *seed, Workers: *workers}
+			if !full {
+				o.Runs = 15
+				o.Stream = 120000
+				o.Holdout = 50000
+			} else {
+				o.Runs = 100
+			}
+			experiments.PrintTab2(w, experiments.Tab2(o))
+		}},
+		{"fig7", func(w io.Writer) {
+			o := experiments.Fig7Options{Seed: *seed, Workers: *workers}
+			if !full {
+				o.Sizes = []int{20000, 80000, 320000}
+				o.LRBlockSizes = []int{10000, 50000}
+				o.NNBlockSize = 100000
+				o.MaxStream = 640000
+				o.SkipNN = true
+			}
+			quality := experiments.Fig7Quality(o)
+			accepts := experiments.Fig7Accept(o)
+			experiments.PrintFig7(w, quality, accepts)
+		}},
+		{"fig8", func(w io.Writer) {
+			o := experiments.Fig8Options{Seed: *seed, Workers: *workers}
+			if !full {
+				o.Hours = 800
+			} else {
+				o.Hours = 3000
+			}
+			experiments.PrintFig8(w, experiments.Fig8(o))
+		}},
 	}
 
-	run("tab1", func() { experiments.PrintTable1(os.Stdout) })
-
-	run("fig5", func() {
-		o := experiments.Fig5Options{Seed: *seed, Workers: *workers}
-		if !full {
-			o.Sizes = []int{10000, 50000, 200000}
-			o.Holdout = 50000
+	var selected []experiment
+	for _, e := range all {
+		if *exp == "all" || *exp == e.name {
+			selected = append(selected, e)
 		}
-		experiments.PrintFig5(os.Stdout, experiments.Fig5(o))
-	})
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
 
-	run("fig6", func() {
-		o := experiments.Fig6Options{Seed: *seed, Workers: *workers}
-		if !full {
-			o.MaxStream = 400000
-			o.TargetsPerConfig = 3
-		} else {
-			o.MaxStream = 2000000
+	start := time.Now()
+	if *pipeline && len(selected) > 1 {
+		runPipelined(selected, *scale, *workers)
+	} else {
+		for _, e := range selected {
+			t0 := time.Now()
+			fmt.Printf("==== %s (scale=%s) ====\n", e.name, *scale)
+			e.fn(os.Stdout)
+			fmt.Println()
+			fmt.Fprintf(os.Stderr, "---- %s done in %v ----\n", e.name, time.Since(t0).Round(time.Millisecond))
 		}
-		experiments.PrintFig6(os.Stdout, experiments.Fig6(o))
-	})
+	}
+	fmt.Fprintf(os.Stderr, "total wall-clock %v\n", time.Since(start).Round(time.Millisecond))
+	if st := privacy.SGDCalibrationStats(); st.Hits+st.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "DP-SGD calibration cache: %d hits / %d misses (hit rate %.1f%%)\n",
+			st.Hits, st.Misses, 100*st.HitRate())
+	}
+}
 
-	run("tab2", func() {
-		o := experiments.Tab2Options{Seed: *seed, Workers: *workers}
-		if !full {
-			o.Runs = 15
-			o.Stream = 120000
-			o.Holdout = 50000
-		} else {
-			o.Runs = 100
-		}
-		experiments.PrintTab2(os.Stdout, experiments.Tab2(o))
-	})
+// runPipelined executes the experiments concurrently on one shared
+// bounded scheduler and flushes their buffered output in canonical
+// order. Every experiment's cells carry coordinate-derived seeds, so the
+// interleaving cannot change a single byte of the output.
+func runPipelined(selected []experiment, scale string, workers int) {
+	pool := parallel.NewPool(workers)
+	parallel.SetGlobal(pool)
+	defer func() {
+		parallel.SetGlobal(nil)
+		pool.Close()
+	}()
 
-	run("fig7", func() {
-		o := experiments.Fig7Options{Seed: *seed, Workers: *workers}
-		if !full {
-			o.Sizes = []int{20000, 80000, 320000}
-			o.LRBlockSizes = []int{10000, 50000}
-			o.NNBlockSize = 100000
-			o.MaxStream = 640000
-			o.SkipNN = true
-		}
-		quality := experiments.Fig7Quality(o)
-		accepts := experiments.Fig7Accept(o)
-		experiments.PrintFig7(os.Stdout, quality, accepts)
-	})
-
-	run("fig8", func() {
-		o := experiments.Fig8Options{Seed: *seed, Workers: *workers}
-		if !full {
-			o.Hours = 800
-		} else {
-			o.Hours = 3000
-		}
-		experiments.PrintFig8(os.Stdout, experiments.Fig8(o))
-	})
+	bufs := make([]bytes.Buffer, len(selected))
+	elapsed := make([]time.Duration, len(selected))
+	done := make([]chan struct{}, len(selected))
+	for i, e := range selected {
+		done[i] = make(chan struct{})
+		go func(i int, e experiment) {
+			defer close(done[i])
+			t0 := time.Now()
+			e.fn(&bufs[i])
+			elapsed[i] = time.Since(t0)
+		}(i, e)
+	}
+	for i, e := range selected {
+		<-done[i]
+		fmt.Printf("==== %s (scale=%s) ====\n", e.name, scale)
+		io.Copy(os.Stdout, &bufs[i])
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "---- %s done in %v (pipelined) ----\n", e.name, elapsed[i].Round(time.Millisecond))
+	}
 }

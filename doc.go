@@ -38,6 +38,25 @@
 // concurrency; the default is runtime.GOMAXPROCS(0). The determinism
 // regression tests in internal/experiments pin this contract down.
 //
+// On top of the per-sweep engine sits a process-wide shared scheduler
+// (parallel.Pool + parallel.SetGlobal): one bounded worker pool that
+// every sweep submits its cells into, draining batches FIFO with a
+// caller-runs policy (submitters help their own batch, so nested
+// submissions cannot deadlock). cmd/sage-experiments -pipeline installs
+// it for -exp all, running the experiments concurrently so the tail of
+// one grid overlaps the head of the next instead of idling at a
+// per-experiment barrier; buffered per-experiment output keeps stdout
+// byte-identical to a sequential run. Because scheduling never feeds
+// randomness, interleaving whole experiments is as invisible as
+// interleaving cells — pinned by the shared-pool determinism test.
+//
+// DP-SGD noise calibration (privacy.CalibrateSGDNoise) is memoized
+// process-wide by (N, BatchSize, Epochs, ε, δ): the sweeps re-run
+// identical plans thousands of times, and a cache hit replaces a
+// ~160 ms RDP bracketing search with a lock-free lookup.
+// privacy.SGDCalibrationStats exposes the hit/miss counters, which
+// cmd/sage-experiments reports after every run.
+//
 // The substrate's hot kernels are tuned for the sweeps' scale: Gram
 // accumulation exploits outer-product symmetry (upper triangle +
 // one mirror) and one-hot sparsity, Cholesky factorization and solves

@@ -37,6 +37,11 @@ type Policy struct {
 type blockState struct {
 	acct    *privacy.Accountant
 	retired bool
+	// sticky marks retirements that must never be reversed: forced
+	// retirements (Retire) and any retirement whose onRetire callback
+	// ran — the DP-retention hook may have deleted the block's raw data
+	// (§3.2), so a later budget refund cannot resurrect it.
+	sticky bool
 }
 
 // AccessControl is Sage's DP access-control layer for one sensitive
@@ -152,6 +157,12 @@ func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 			st.acct.Spend(b)
 			if ac.shouldRetire(st) {
 				st.retired = true
+				// With a retention hook registered, the callback below
+				// deletes the block's raw data: the retirement becomes
+				// irreversible even if budget is refunded later.
+				if ac.onRetire != nil {
+					st.sticky = true
+				}
 				retiredNow = append(retiredNow, id)
 			}
 		}
@@ -178,7 +189,10 @@ func (ac *AccessControl) shouldRetire(st *blockState) bool {
 
 // Refund returns unspent budget to every block in ids. Pipelines reserve
 // budget up front and refund what privacy-adaptive training did not use
-// (§3.3). Refunding a retired block can un-retire it.
+// (§3.3). Refunding a block retired purely by budget exhaustion (no
+// retention hook involved) un-retires it; forced retirements and
+// retirements whose retention callback already ran stay retired — the
+// raw data is gone, so regained budget cannot resurrect the block.
 func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 	if err := b.Validate(); err != nil {
 		return err
@@ -194,14 +208,15 @@ func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 			return ErrUnknownBlock{ID: id}
 		}
 		st.acct.Refund(b)
-		if !ac.shouldRetire(st) {
+		if !st.sticky && !ac.shouldRetire(st) {
 			st.retired = false
 		}
 	}
 	return nil
 }
 
-// Retire forcibly retires a block regardless of remaining budget.
+// Retire forcibly retires a block regardless of remaining budget. Forced
+// retirement is sticky: no refund can reverse it.
 func (ac *AccessControl) Retire(id data.BlockID) error {
 	ac.mu.Lock()
 	st, ok := ac.blocks[id]
@@ -211,6 +226,7 @@ func (ac *AccessControl) Retire(id data.BlockID) error {
 	}
 	already := st.retired
 	st.retired = true
+	st.sticky = true
 	cb := ac.onRetire
 	ac.mu.Unlock()
 	if !already && cb != nil {

@@ -201,6 +201,89 @@ func TestForcedRetire(t *testing.T) {
 	}
 }
 
+func TestForcedRetireStickyAcrossRefund(t *testing.T) {
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	if err := ac.Request([]data.BlockID{1}, privacy.MustBudget(0.4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	// A refund restores plenty of budget, but a force-retired block must
+	// stay retired: Retire is an operator decision, not an accounting one.
+	if err := ac.Refund([]data.BlockID{1}, privacy.MustBudget(0.4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !ac.Retired(1) {
+		t.Error("refund resurrected a force-retired block")
+	}
+	if !ac.Remaining(1).IsZero() {
+		t.Errorf("retired block reports remaining budget %v", ac.Remaining(1))
+	}
+	var exhausted ErrBlockExhausted
+	if err := ac.Request([]data.BlockID{1}, privacy.MustBudget(0.1, 0)); !errors.As(err, &exhausted) {
+		t.Errorf("request on force-retired block: err = %v, want ErrBlockExhausted", err)
+	}
+}
+
+func TestDataDeletedRetirementStickyAcrossRefund(t *testing.T) {
+	// With a retention hook registered, retirement deletes the raw data —
+	// so even budget-exhaustion retirement must survive a refund.
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	deleted := 0
+	ac.SetRetireCallback(func(data.BlockID) { deleted++ })
+	if err := ac.Request([]data.BlockID{1}, privacy.MustBudget(1, 1e-6)); err != nil {
+		t.Fatal(err)
+	}
+	if !ac.Retired(1) || deleted != 1 {
+		t.Fatalf("retired=%v deleted=%d, want retirement + one deletion", ac.Retired(1), deleted)
+	}
+	if err := ac.Refund([]data.BlockID{1}, privacy.MustBudget(0.9, 1e-6)); err != nil {
+		t.Fatal(err)
+	}
+	if !ac.Retired(1) {
+		t.Error("refund resurrected a block whose raw data was deleted")
+	}
+	if deleted != 1 {
+		t.Errorf("retire callback fired %d times, want exactly 1", deleted)
+	}
+	if got := ac.AvailableBlocks([]data.BlockID{1}, privacy.MustBudget(0.01, 0)); len(got) != 0 {
+		t.Errorf("data-deleted block still listed available: %v", got)
+	}
+}
+
+func TestExhaustionRetirementReversibleWithoutCallback(t *testing.T) {
+	// No retention hook: exhaustion retirement is pure accounting and a
+	// refund may reverse it (the pre-existing §3.3 reserve/refund flow).
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	ac.Request([]data.BlockID{1}, privacy.MustBudget(1, 0))
+	if !ac.Retired(1) {
+		t.Fatal("expected exhaustion retirement")
+	}
+	if err := ac.Refund([]data.BlockID{1}, privacy.MustBudget(0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Retired(1) {
+		t.Error("refund should un-retire a budget-exhausted block with no retention hook")
+	}
+	// Force-retiring an already (reversibly) retired block upgrades it
+	// to sticky without re-firing callbacks.
+	ac.Request([]data.BlockID{1}, privacy.MustBudget(0.5, 0))
+	if !ac.Retired(1) {
+		t.Fatal("expected re-retirement")
+	}
+	if err := ac.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	ac.Refund([]data.BlockID{1}, privacy.MustBudget(1, 0))
+	if !ac.Retired(1) {
+		t.Error("force-retire on a retired block should still make it sticky")
+	}
+}
+
 func TestReport(t *testing.T) {
 	ac := newAC(1, 1e-6)
 	ac.RegisterBlock(1)

@@ -10,8 +10,10 @@ package experiments
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/internal/validation"
 	"repro/internal/workload"
 )
@@ -90,6 +92,65 @@ func TestTab2DeterministicAcrossWorkers(t *testing.T) {
 	a, b := Tab2(seq), Tab2(par)
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("Tab2 output depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", a, b)
+	}
+}
+
+// TestSharedPoolInterleavedExperimentsDeterministic pins the tentpole
+// contract of the shared scheduler: two experiments submitting cells
+// into one process-wide pool concurrently — so their grids interleave
+// arbitrarily on the same workers — must each produce output
+// bit-identical to a private sequential run.
+func TestSharedPoolInterleavedExperimentsDeterministic(t *testing.T) {
+	fig5Opts := Fig5Options{
+		Sizes:   []int{5000, 10000},
+		Holdout: 5000,
+		Models:  []string{"Taxi-LR"},
+		Seed:    81,
+		Workers: 1,
+	}
+	fig6Opts := Fig6Options{
+		MaxStream:        60000,
+		MinSamples:       5000,
+		Models:           []string{"Taxi-LR"},
+		TargetsPerConfig: 2,
+		Modes:            []validation.Mode{validation.ModeNoSLA, validation.ModeSage},
+		Seed:             82,
+		Workers:          1,
+	}
+	sweepBase := workload.Config{EpsG: 1, BlockSize: 16000, Hours: 200, Seed: 83, Workers: 1}
+	sweepRates := []float64{0.3}
+	sweepStrats := []workload.Strategy{workload.BlockConserve, workload.QueryComposition}
+
+	// Baselines: private sequential pools, no global scheduler.
+	wantFig5 := Fig5(fig5Opts)
+	wantFig6 := Fig6(fig6Opts)
+	wantSweep := workload.Sweep(sweepBase, sweepRates, sweepStrats)
+
+	// Interleaved: all three run concurrently on one shared pool.
+	pool := parallel.NewPool(4)
+	parallel.SetGlobal(pool)
+	defer func() {
+		parallel.SetGlobal(nil)
+		pool.Close()
+	}()
+	var gotFig5 []Fig5Point
+	var gotFig6 []Fig6Point
+	var gotSweep []workload.SweepPoint
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { defer wg.Done(); gotFig5 = Fig5(fig5Opts) }()
+	go func() { defer wg.Done(); gotFig6 = Fig6(fig6Opts) }()
+	go func() { defer wg.Done(); gotSweep = workload.Sweep(sweepBase, sweepRates, sweepStrats) }()
+	wg.Wait()
+
+	if !reflect.DeepEqual(wantFig5, gotFig5) {
+		t.Errorf("Fig5 changed under the shared pool:\nprivate: %+v\nshared:  %+v", wantFig5, gotFig5)
+	}
+	if !reflect.DeepEqual(wantFig6, gotFig6) {
+		t.Errorf("Fig6 changed under the shared pool:\nprivate: %+v\nshared:  %+v", wantFig6, gotFig6)
+	}
+	if !reflect.DeepEqual(wantSweep, gotSweep) {
+		t.Errorf("Sweep changed under the shared pool:\nprivate: %+v\nshared:  %+v", wantSweep, gotSweep)
 	}
 }
 

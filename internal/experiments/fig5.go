@@ -66,7 +66,11 @@ func (o *Fig5Options) wants(name string) bool {
 
 // Fig5 regenerates the learning curves of Fig. 5: for each Table 1
 // pipeline, the non-private, large-ε and small-ε variants trained on
-// growing data, evaluated on a held-out set.
+// growing data, evaluated on a held-out set. The grid is flattened into
+// independent cells enqueued on the experiment scheduler — the shared
+// process-wide pool when one is installed (parallel.SetGlobal), a
+// private Workers-bounded pool otherwise — and collected in grid order;
+// per-cell rng.MixSeed seeds keep the output bit-identical either way.
 func Fig5(o Fig5Options) []Fig5Point {
 	o.fill()
 	cfgs := Configs()

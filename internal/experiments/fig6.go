@@ -87,9 +87,11 @@ type fig6Cell struct {
 // Fig6 regenerates the sample-complexity curves of Fig. 6: for each
 // pipeline, target, and validation mode, the data required for
 // privacy-adaptive training to ACCEPT. The grid is flattened into
-// independent cells and dispatched through the parallel engine; each
+// independent cells and enqueued on the experiment scheduler (the shared
+// global pool under -pipeline, else a private Workers-bounded one); each
 // cell's RNG is derived from its own coordinates, so the output is
-// bit-identical for any Workers value.
+// bit-identical for any Workers value and any cross-experiment
+// interleaving.
 func Fig6(o Fig6Options) []Fig6Point {
 	o.fill()
 

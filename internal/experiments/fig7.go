@@ -172,10 +172,11 @@ func trainNNBlockwise(ds *data.Dataset, blockSize int, eps, delta float64, dim i
 }
 
 // Fig7Quality regenerates the training-quality panels (7a, 7c). The
-// (size × composition-mode) grid is flattened and dispatched through the
-// parallel engine; cell seeds mix the cell's own coordinates through
-// splitmix64, so neighboring cells get decorrelated noise streams and
-// the output is bit-identical for any Workers value.
+// (size × composition-mode) grid is flattened and enqueued on the
+// experiment scheduler (shared global pool when installed); cell seeds
+// mix the cell's own coordinates through splitmix64, so neighboring
+// cells get decorrelated noise streams and the output is bit-identical
+// for any Workers value and any cross-experiment interleaving.
 func Fig7Quality(o Fig7Options) []Fig7QualityPoint {
 	o.fill()
 	maxN := o.Sizes[len(o.Sizes)-1]

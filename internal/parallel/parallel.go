@@ -1,6 +1,9 @@
 // Package parallel provides the deterministic fan-out engine the
 // experiment sweeps run on: a bounded worker pool that evaluates an
-// indexed task grid and collects results in index order.
+// indexed task grid and collects results in index order. A process-wide
+// shared Pool (SetGlobal) lets many sweeps share one worker budget, so
+// independent experiments pipeline across each other instead of each
+// fanning out behind its own barrier.
 //
 // Determinism is a contract, not an accident. Every task must derive all
 // of its randomness from its own coordinates (via rng.MixSeed and a
@@ -41,8 +44,18 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // ForEach evaluates fn(0) … fn(n-1) on up to workers goroutines and
 // waits for all of them. Tasks are handed out through a shared atomic
 // counter, so long tasks never serialize behind a fixed pre-partition.
+//
+// When a process-wide shared pool is installed (SetGlobal), the grid is
+// submitted to it instead and the per-call workers bound is ignored: the
+// pool's worker count is the global concurrency budget, shared by every
+// sweep running in the process. Results are unaffected either way — the
+// determinism contract makes scheduling invisible.
 func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
+		return
+	}
+	if g := Global(); g != nil {
+		g.ForEach(n, fn)
 		return
 	}
 	workers = Workers(workers)

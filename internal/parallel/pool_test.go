@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachRunsEachOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var calls [300]atomic.Int32
+	p.ForEach(len(calls), func(i int) { calls[i].Add(1) })
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("cell %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestPoolConcurrentBatches(t *testing.T) {
+	// Many goroutines submit batches into one pool at once; every batch
+	// must complete exactly, with no cross-batch interference.
+	p := NewPool(3)
+	defer p.Close()
+	const batches, cells = 8, 50
+	var sums [batches]atomic.Int64
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			p.ForEach(cells, func(i int) { sums[b].Add(int64(i)) })
+		}(b)
+	}
+	wg.Wait()
+	want := int64(cells * (cells - 1) / 2)
+	for b := range sums {
+		if got := sums[b].Load(); got != want {
+			t.Errorf("batch %d sum = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestPoolNestedSubmissionDoesNotDeadlock(t *testing.T) {
+	// A cell that itself submits a batch must complete even when the
+	// pool has a single worker: caller-runs guarantees progress.
+	p := NewPool(1)
+	defer p.Close()
+	var inner atomic.Int32
+	p.ForEach(2, func(i int) {
+		p.ForEach(3, func(j int) { inner.Add(1) })
+	})
+	if got := inner.Load(); got != 6 {
+		t.Errorf("inner cells ran %d times, want 6", got)
+	}
+}
+
+func TestPoolEmptyBatch(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.ForEach(0, func(i int) { t.Error("cell ran on empty batch") })
+	p.ForEach(-5, func(i int) { t.Error("cell ran on negative batch") })
+}
+
+func TestGlobalPoolRoutesForEach(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	SetGlobal(p)
+	defer SetGlobal(nil)
+	got := Map(1, 50, func(i int) int { return i * 3 })
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if Global() != p {
+		t.Error("Global() lost the installed pool")
+	}
+}
+
+func TestClosedPoolPanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("ForEach on closed pool should panic")
+		}
+	}()
+	p.ForEach(1, func(int) {})
+}

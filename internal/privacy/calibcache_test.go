@@ -1,0 +1,97 @@
+package privacy
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCalibrationCacheHitReturnsIdenticalSigma(t *testing.T) {
+	ResetSGDCalibrationCache()
+	plan := SGDPlan{N: 60000, BatchSize: 512, Epochs: 3}
+	first := CalibrateSGDNoise(plan, 1.0, 1e-6)
+	second := CalibrateSGDNoise(plan, 1.0, 1e-6)
+	if first != second {
+		t.Fatalf("cached σ %v differs from computed σ %v", second, first)
+	}
+	st := SGDCalibrationStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss then 1 hit", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+}
+
+func TestCalibrationCacheKeysAreDistinct(t *testing.T) {
+	ResetSGDCalibrationCache()
+	base := SGDPlan{N: 40000, BatchSize: 256, Epochs: 2}
+	variants := []struct {
+		plan       SGDPlan
+		eps, delta float64
+	}{
+		{base, 1.0, 1e-6},
+		{SGDPlan{N: 40001, BatchSize: 256, Epochs: 2}, 1.0, 1e-6},
+		{SGDPlan{N: 40000, BatchSize: 128, Epochs: 2}, 1.0, 1e-6},
+		{SGDPlan{N: 40000, BatchSize: 256, Epochs: 4}, 1.0, 1e-6},
+		{base, 0.5, 1e-6},
+		{base, 1.0, 1e-7},
+	}
+	for _, v := range variants {
+		CalibrateSGDNoise(v.plan, v.eps, v.delta)
+	}
+	st := SGDCalibrationStats()
+	if st.Misses != uint64(len(variants)) || st.Hits != 0 {
+		t.Errorf("stats = %+v, want %d distinct misses", st, len(variants))
+	}
+	// Tighter ε must not be served a looser key's σ.
+	loose := CalibrateSGDNoise(base, 1.0, 1e-6)
+	tight := CalibrateSGDNoise(base, 0.5, 1e-6)
+	if tight <= loose {
+		t.Errorf("σ(ε=0.5)=%v should exceed σ(ε=1)=%v", tight, loose)
+	}
+}
+
+func TestCalibrationCacheConcurrent(t *testing.T) {
+	ResetSGDCalibrationCache()
+	plan := SGDPlan{N: 30000, BatchSize: 512, Epochs: 1}
+	want := calibrateSGDNoise(plan, 1.0, 1e-6)
+	var wg sync.WaitGroup
+	got := make([]float64, 16)
+	for w := range got {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = CalibrateSGDNoise(plan, 1.0, 1e-6)
+		}(w)
+	}
+	wg.Wait()
+	for w, g := range got {
+		if g != want {
+			t.Errorf("goroutine %d got σ=%v, want %v", w, g, want)
+		}
+	}
+	st := SGDCalibrationStats()
+	if st.Hits+st.Misses != 16 {
+		t.Errorf("lookups = %d, want 16", st.Hits+st.Misses)
+	}
+}
+
+// BenchmarkCalibrateSGDNoiseMiss measures the full bracketing/bisection
+// search the cache is saving.
+func BenchmarkCalibrateSGDNoiseMiss(b *testing.B) {
+	plan := SGDPlan{N: 100000, BatchSize: 1024, Epochs: 3}
+	for i := 0; i < b.N; i++ {
+		calibrateSGDNoise(plan, 1.0, 1e-6)
+	}
+}
+
+// BenchmarkCalibrateSGDNoiseHit measures the memoized fast path.
+func BenchmarkCalibrateSGDNoiseHit(b *testing.B) {
+	ResetSGDCalibrationCache()
+	plan := SGDPlan{N: 100000, BatchSize: 1024, Epochs: 3}
+	CalibrateSGDNoise(plan, 1.0, 1e-6) // warm the entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CalibrateSGDNoise(plan, 1.0, 1e-6)
+	}
+}

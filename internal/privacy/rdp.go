@@ -166,7 +166,10 @@ func SGDEpsilon(plan SGDPlan, sigma, delta float64) float64 {
 
 // CalibrateSGDNoise returns the smallest noise multiplier σ such that the
 // plan satisfies (ε, δ)-DP, found by exponential bracketing followed by
-// binary search. It mirrors TF-Privacy's compute_noise utility.
+// binary search. It mirrors TF-Privacy's compute_noise utility. Results
+// are memoized process-wide by (N, BatchSize, Epochs, ε, δ) — see
+// calibcache.go — because the sweeps re-run identical plans constantly;
+// SGDCalibrationStats exposes the hit/miss counters.
 func CalibrateSGDNoise(plan SGDPlan, epsilon, delta float64) float64 {
 	if epsilon <= 0 {
 		panic("privacy: CalibrateSGDNoise requires epsilon > 0")
@@ -174,6 +177,12 @@ func CalibrateSGDNoise(plan SGDPlan, epsilon, delta float64) float64 {
 	if plan.Steps() == 0 {
 		return 0
 	}
+	return cachedSGDNoise(plan, epsilon, delta)
+}
+
+// calibrateSGDNoise is the uncached bracketing/bisection search behind
+// CalibrateSGDNoise.
+func calibrateSGDNoise(plan SGDPlan, epsilon, delta float64) float64 {
 	lo, hi := 1e-2, 1e-2
 	// Grow hi until private enough.
 	for SGDEpsilon(plan, hi, delta) > epsilon {

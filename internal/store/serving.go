@@ -11,7 +11,10 @@ import (
 
 // Server is the Serving Infrastructure of Fig. 1: it loads bundles from
 // the store and answers prediction requests over HTTP. It caches the
-// instantiated model per (name, version) — bundles are immutable.
+// instantiated model per (name, version) — bundles are immutable — and
+// evicts a name's superseded versions when a newer one is instantiated,
+// so a long-running server's cache stays bounded at one live model per
+// name however many versions the pipelines publish.
 //
 // Endpoints:
 //
@@ -20,12 +23,18 @@ import (
 type Server struct {
 	store *Store
 	mu    sync.Mutex
-	cache map[string]ml.Model // "name@version" → model
+	cache map[modelKey]ml.Model
+}
+
+// modelKey identifies one cached model instantiation.
+type modelKey struct {
+	name    string
+	version int
 }
 
 // NewServer returns a server over the store.
 func NewServer(s *Store) *Server {
-	return &Server{store: s, cache: make(map[string]ml.Model)}
+	return &Server{store: s, cache: make(map[modelKey]ml.Model)}
 }
 
 // Handler returns the HTTP handler.
@@ -88,6 +97,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
+	// Validate the feature vector against the bundle before Predict: a
+	// wrong-length vector would otherwise index out of range and kill
+	// the handler goroutine.
+	if want := bundle.Model.InputDim(); want > 0 && len(req.Features) != want {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"model %q expects %d features, got %d", name, want, len(req.Features)))
+		return
+	}
 	model, err := s.model(bundle)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -99,9 +116,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// model returns the cached instantiation of a bundle.
+// model returns the cached instantiation of a bundle, evicting the
+// name's older versions on a fresh instantiation: /predict always serves
+// Latest, so once a newer version is live its predecessors can never be
+// requested again and keeping them would leak a model per publish.
 func (s *Server) model(b *Bundle) (ml.Model, error) {
-	key := fmt.Sprintf("%s@%d", b.Name, b.Version)
+	key := modelKey{name: b.Name, version: b.Version}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if m, ok := s.cache[key]; ok {
@@ -110,6 +130,19 @@ func (s *Server) model(b *Bundle) (ml.Model, error) {
 	m, err := b.Model.Instantiate()
 	if err != nil {
 		return nil, err
+	}
+	// A request that read Latest before a concurrent publish may arrive
+	// here with a superseded bundle; serve it without caching so the
+	// one-live-model-per-name bound survives publish/predict races.
+	for k := range s.cache {
+		if k.name == b.Name && k.version > b.Version {
+			return m, nil
+		}
+	}
+	for k := range s.cache {
+		if k.name == b.Name && k.version < b.Version {
+			delete(s.cache, k)
+		}
 	}
 	s.cache[key] = m
 	return m, nil

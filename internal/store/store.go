@@ -87,6 +87,20 @@ func Serialize(m ml.Model) (ModelSpec, error) {
 	}
 }
 
+// InputDim returns the feature-vector length the spec's model expects,
+// or 0 when any length is acceptable (constant models). Serving uses it
+// to reject malformed predict requests before they reach Predict.
+func (s ModelSpec) InputDim() int {
+	switch s.Kind {
+	case "linear":
+		return len(s.Weights)
+	case "logistic", "linear-sgd", "mlp-reg", "mlp-clf":
+		return s.Dim
+	default:
+		return 0
+	}
+}
+
 // Instantiate reconstructs a usable model from the spec.
 func (s ModelSpec) Instantiate() (ml.Model, error) {
 	switch s.Kind {

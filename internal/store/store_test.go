@@ -219,6 +219,141 @@ func TestServingEndpoints(t *testing.T) {
 	}
 }
 
+func TestServingRejectsWrongFeatureDimension(t *testing.T) {
+	s := New()
+	linSpec, _ := Serialize(&ml.LinearModel{Weights: []float64{1, 2}, Bias: 0})
+	s.Publish(Bundle{Name: "lin", Model: linSpec})
+	logSpec, _ := Serialize(ml.NewLogisticRegression(3))
+	s.Publish(Bundle{Name: "log", Model: logSpec})
+	srv := httptest.NewServer(NewServer(s).Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		model, payload string
+		wantCode       int
+	}{
+		{"lin", `{"features":[1,2]}`, http.StatusOK},
+		{"lin", `{"features":[1,2,3]}`, http.StatusBadRequest}, // too long: used to panic the handler
+		{"lin", `{"features":[1]}`, http.StatusBadRequest},     // too short
+		{"lin", `{"features":[]}`, http.StatusBadRequest},
+		{"lin", `{}`, http.StatusBadRequest}, // features absent entirely
+		{"log", `{"features":[1,2,3]}`, http.StatusOK},
+		{"log", `{"features":[1,2,3,4]}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/predict?model="+tc.model, "application/json",
+			bytes.NewBufferString(tc.payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s %s: undecodable response: %v", tc.model, tc.payload, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s %s: code %d, want %d (body %v)", tc.model, tc.payload, resp.StatusCode, tc.wantCode, body)
+		}
+		if msg, _ := body["error"].(string); tc.wantCode == http.StatusBadRequest && msg == "" {
+			t.Errorf("%s %s: 400 without error message", tc.model, tc.payload)
+		}
+	}
+
+	// The server must still answer after the malformed requests (the
+	// old behavior killed the handler goroutine mid-response).
+	resp, err := http.Post(srv.URL+"/predict?model=lin", "application/json",
+		bytes.NewBufferString(`{"features":[3,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("server unhealthy after bad requests: code %d", resp.StatusCode)
+	}
+}
+
+func TestServingEvictsSupersededVersions(t *testing.T) {
+	s := New()
+	server := NewServer(s)
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	predict := func() {
+		resp, err := http.Post(srv.URL+"/predict?model=m", "application/json",
+			bytes.NewBufferString(`{"features":[1]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict code %d", resp.StatusCode)
+		}
+	}
+	cached := func() []modelKey {
+		server.mu.Lock()
+		defer server.mu.Unlock()
+		keys := make([]modelKey, 0, len(server.cache))
+		for k := range server.cache {
+			keys = append(keys, k)
+		}
+		return keys
+	}
+
+	for v := 1; v <= 25; v++ {
+		spec, _ := Serialize(&ml.LinearModel{Weights: []float64{float64(v)}, Bias: 0})
+		s.Publish(Bundle{Name: "m", Model: spec})
+		predict()
+	}
+	keys := cached()
+	if len(keys) != 1 || keys[0] != (modelKey{name: "m", version: 25}) {
+		t.Errorf("cache after 25 versions = %v, want only m@25", keys)
+	}
+
+	// Other names are untouched by eviction.
+	spec, _ := Serialize(ml.ConstantModel{Value: 1})
+	s.Publish(Bundle{Name: "other", Model: spec})
+	resp, err := http.Post(srv.URL+"/predict?model=other", "application/json",
+		bytes.NewBufferString(`{"features":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := cached(); len(got) != 2 {
+		t.Errorf("cache with two names = %v, want m@25 and other@1", got)
+	}
+}
+
+func TestServingStaleVersionNotReCached(t *testing.T) {
+	// A request that loaded Latest just before a publish may instantiate
+	// the superseded bundle after the newer one is already cached; it
+	// must be served without re-entering the cache.
+	s := New()
+	server := NewServer(s)
+	for v := 1; v <= 2; v++ {
+		spec, _ := Serialize(&ml.LinearModel{Weights: []float64{float64(v)}, Bias: 0})
+		s.Publish(Bundle{Name: "m", Model: spec})
+	}
+	v1, _ := s.Get("m", 1)
+	v2, _ := s.Get("m", 2)
+	if _, err := server.model(v2); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := server.model(v1) // stale request arrives after v2 is live
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m1.Predict([]float64{1}); got != 1 {
+		t.Errorf("stale bundle served wrong model: predict = %v, want 1", got)
+	}
+	server.mu.Lock()
+	_, v1cached := server.cache[modelKey{name: "m", version: 1}]
+	_, v2cached := server.cache[modelKey{name: "m", version: 2}]
+	n := len(server.cache)
+	server.mu.Unlock()
+	if v1cached || !v2cached || n != 1 {
+		t.Errorf("cache holds v1=%v v2=%v (n=%d), want only the live v2", v1cached, v2cached, n)
+	}
+}
+
 func TestServingCachesModels(t *testing.T) {
 	s := New()
 	spec, _ := Serialize(&ml.LinearModel{Weights: []float64{1}, Bias: 0})

@@ -500,9 +500,12 @@ type SweepPoint struct {
 }
 
 // Sweep runs the base configuration across arrival rates and strategies,
-// regenerating one panel of Fig. 8. The (rate × strategy) grid runs on
-// base.Workers goroutines; every cell simulates from its own RNG seeded
-// by base.Seed, so the points are bit-identical for any worker count.
+// regenerating one panel of Fig. 8. The (rate × strategy) grid is
+// enqueued on the experiment scheduler — the shared process-wide pool
+// when one is installed (parallel.SetGlobal), else base.Workers private
+// goroutines; every cell simulates from its own RNG seeded by base.Seed,
+// so the points are bit-identical for any worker count and any
+// cross-experiment interleaving.
 func Sweep(base Config, rates []float64, strategies []Strategy) []SweepPoint {
 	type cell struct {
 		rate  float64
