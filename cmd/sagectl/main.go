@@ -1,17 +1,33 @@
-// Command sagectl demonstrates Sage's access-control plane: it builds a
-// synthetic taxi stream, runs a few DP pipelines against it under a
-// global (εg, δg) policy, and prints the per-block privacy ledger —
-// what an operator would inspect in production.
+// Command sagectl demonstrates Sage's control plane end to end: it
+// builds a synthetic taxi stream, runs DP pipelines against it under a
+// global (εg, δg) policy, and either prints the per-block privacy
+// ledger (what an operator would inspect in production) or publishes
+// the accepted models into the wide-access store and serves them over
+// HTTP — the full Fig. 1 loop from growing database to serving
+// infrastructure.
 //
 // Usage:
 //
-//	sagectl [-epsg 1.0] [-delta 1e-6] [-days 30] [-pipelines 3] [-user-blocks]
+//	sagectl [ledger] [-epsg 1.0] [-delta 1e-6] [-days 30] [-pipelines 3] [-user-blocks]
+//	sagectl serve [-addr :8080] [-feature-eps 0.1] [ledger flags]
+//
+// In serve mode, accepted pipelines are published as bundles — model,
+// the DP per-hour speed table (Listing 1's aggregate feature), and
+// provenance — and the store's HTTP API comes up on -addr:
+//
+//	GET  /models                           list released models
+//	GET  /models/{name}/provenance         blocks, budget, decision (audit)
+//	POST /predict?model=<name>             single prediction
+//	POST /predict/batch?model=<name>       batched predictions
+//	GET  /features?model=<name>&key=hour_speed[&index=H]   serving-time join
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
@@ -19,79 +35,252 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/taxi"
 	"repro/internal/validation"
 )
 
-func main() {
-	epsG := flag.Float64("epsg", 1.0, "global per-block ε ceiling")
-	delta := flag.Float64("delta", 1e-6, "global per-block δ ceiling")
-	days := flag.Int("days", 30, "days of stream to generate")
-	nPipelines := flag.Int("pipelines", 3, "number of pipelines to run")
-	userBlocks := flag.Bool("user-blocks", false, "partition blocks by user ID (user-level privacy, §4.4) instead of by day")
-	flag.Parse()
+// options carries the flags shared by both subcommands.
+type options struct {
+	epsG       float64
+	delta      float64
+	days       int
+	nPipelines int
+	userBlocks bool
+	// serve-only.
+	addr       string
+	featureEps float64
+}
 
-	budget, err := privacy.NewBudget(*epsG, *delta)
+func main() {
+	args := os.Args[1:]
+	mode := "ledger"
+	if len(args) > 0 && (args[0] == "ledger" || args[0] == "serve") {
+		mode = args[0]
+		args = args[1:]
+	}
+
+	fs := flag.NewFlagSet("sagectl "+mode, flag.ExitOnError)
+	var opt options
+	fs.Float64Var(&opt.epsG, "epsg", 1.0, "global per-block ε ceiling")
+	fs.Float64Var(&opt.delta, "delta", 1e-6, "global per-block δ ceiling")
+	fs.IntVar(&opt.days, "days", 30, "days of stream to generate")
+	fs.IntVar(&opt.nPipelines, "pipelines", 3, "number of pipelines to run")
+	fs.BoolVar(&opt.userBlocks, "user-blocks", false, "partition blocks by user ID (user-level privacy, §4.4) instead of by day")
+	if mode == "serve" {
+		fs.StringVar(&opt.addr, "addr", ":8080", "HTTP listen address for the serving API")
+		fs.Float64Var(&opt.featureEps, "feature-eps", 0.2, "ε spent releasing the per-hour speed aggregate (Listing 1)")
+	}
+	_ = fs.Parse(args)
+
+	budget, err := privacy.NewBudget(opt.epsG, opt.delta)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	switch mode {
+	case "serve":
+		err = runServe(opt, budget)
+	default:
+		err = runLedger(opt, budget)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// ledgerTargets are deliberately aggressive MSE targets: the ledger
+// demo wants to show retries draining block budgets and DP retention
+// kicking in. serveTargets are the SLAs this stream's pipelines can
+// actually validate, so serve mode has accepted bundles to publish.
+var (
+	ledgerTargets = []float64{0.0095, 0.0088, 0.0082, 0.0078, 0.0075}
+	serveTargets  = []float64{0.013, 0.015, 0.014, 0.016, 0.0135}
+)
+
+// demoPipeline builds the i-th taxi regression pipeline of the demo.
+func demoPipeline(i int, targets []float64) *pipeline.Pipeline {
+	return &pipeline.Pipeline{
+		Name:    fmt.Sprintf("taxi-lr-%d", i),
+		Trainer: pipeline.AdaSSPTrainer{Rho: 0.1, FeatureBound: 2.5, LabelBound: 1},
+		Validator: pipeline.MSEValidator{
+			Target: targets[i%len(targets)], B: 1,
+			ERMTrainer: pipeline.RidgeTrainer{Lambda: 1e-4},
+		},
+		Mode: validation.ModeSage,
+	}
+}
+
+// newControlPlane builds the demo's database and access control.
+func newControlPlane(opt options, budget privacy.Budget) (*data.GrowingDatabase, *core.AccessControl) {
 	var part data.Partitioner = data.TimePartitioner{Window: 24}
-	if *userBlocks {
+	if opt.userBlocks {
 		part = data.UserPartitioner{}
 	}
 	db := data.NewGrowingDatabase(part)
 	ac := core.NewAccessControl(core.Policy{Global: budget})
+	return db, ac
+}
+
+// ledgerState renders a block report's state column.
+func ledgerState(rep core.BlockReport) string {
+	if !rep.Retired {
+		return "active"
+	}
+	return fmt.Sprintf("RETIRED (%s)", rep.Reason)
+}
+
+// printLedger dumps the per-block accounting table.
+func printLedger(ac *core.AccessControl, db *data.GrowingDatabase, budget privacy.Budget) {
+	fmt.Println("\nblock ledger:")
+	fmt.Printf("%-8s %-28s %-28s %-8s %s\n", "block", "loss", "remaining", "queries", "state")
+	for _, rep := range ac.Report(db.Blocks()) {
+		fmt.Printf("%-8d %-28v %-28v %-8d %s\n", rep.ID, rep.Loss, rep.Remain, rep.Queries, ledgerState(rep))
+	}
+	fmt.Printf("\nstream-wide privacy loss (max over blocks): %v — guarantee %v holds\n",
+		ac.StreamLoss(), budget)
+}
+
+// runLedger is the original sagectl demo: pipelines + ledger dump.
+func runLedger(opt options, budget privacy.Budget) error {
+	db, ac := newControlPlane(opt, budget)
 	ac.SetRetireCallback(func(id data.BlockID) {
-		fmt.Printf("! block %d retired (budget exhausted) — DP-informed retention would delete it\n", id)
+		fmt.Printf("! block %d retired — DP-informed retention deletes its raw data\n", id)
 	})
 
-	stream := taxi.Pipeline((*days)*8000, 0, int64(*days)*24, 0, 0, 17)
+	stream := taxi.Pipeline(opt.days*8000, 0, int64(opt.days)*24, 0, 0, 17)
 	for _, ex := range stream.Examples {
 		for _, id := range db.Insert(ex) {
 			ac.RegisterBlock(id)
 		}
 	}
 	fmt.Printf("stream: %d samples in %d blocks (partitioner %s), policy %v\n\n",
-		db.Size(), db.NumBlocks(), part.Name(), budget)
+		db.Size(), db.NumBlocks(), db.Partitioner().Name(), budget)
 
 	r := rng.New(3)
-	targets := []float64{0.0095, 0.0088, 0.0082, 0.0078, 0.0075}
-	for i := 0; i < *nPipelines; i++ {
-		target := targets[i%len(targets)]
-		pipe := &pipeline.Pipeline{
-			Name:    fmt.Sprintf("taxi-lr-%d", i),
-			Trainer: pipeline.AdaSSPTrainer{Rho: 0.1, FeatureBound: 2.5, LabelBound: 1},
-			Validator: pipeline.MSEValidator{
-				Target: target, B: 1,
-				ERMTrainer: pipeline.RidgeTrainer{Lambda: 1e-4},
-			},
-			Mode: validation.ModeSage,
-		}
+	for i := 0; i < opt.nPipelines; i++ {
+		pipe := demoPipeline(i, ledgerTargets)
 		st := &adaptive.StreamTrainer{
 			AC: ac, DB: db, Pipe: pipe,
 			Epsilon0: budget.Epsilon / 8, EpsilonCap: budget.Epsilon,
-			Delta: *delta / 100, MinWindow: min(6, db.NumBlocks()),
+			Delta: opt.delta / 100, MinWindow: min(6, db.NumBlocks()),
 		}
 		res, err := st.Run(r)
 		if err != nil {
-			fmt.Printf("pipeline %d (target %.4g): blocked — %v\n", i, target, err)
+			fmt.Printf("pipeline %d (%s): blocked — %v\n", i, pipe.Name, err)
 			continue
 		}
-		fmt.Printf("pipeline %d (target %.4g): %v in %d iterations, %d samples, spent %v\n",
-			i, target, res.Decision, res.Iterations, res.Samples, res.TotalSpent)
+		fmt.Printf("pipeline %d (%s): %v in %d iterations, %d samples, spent %v\n",
+			i, pipe.Name, res.Decision, res.Iterations, res.Samples, res.TotalSpent)
 	}
 
-	fmt.Println("\nblock ledger:")
-	fmt.Printf("%-8s %-28s %-28s %-8s %s\n", "block", "loss", "remaining", "queries", "state")
-	for _, rep := range ac.Report(db.Blocks()) {
-		state := "active"
-		if rep.Retired {
-			state = "RETIRED"
-		}
-		fmt.Printf("%-8d %-28v %-28v %-8d %s\n", rep.ID, rep.Loss, rep.Remain, rep.Queries, state)
+	printLedger(ac, db, budget)
+	return nil
+}
+
+// runServe publishes accepted pipelines into the model & feature store
+// and serves them: the complete Fig. 1 loop.
+func runServe(opt options, budget privacy.Budget) error {
+	db, ac := newControlPlane(opt, budget)
+	ac.SetRetireCallback(func(id data.BlockID) {
+		fmt.Printf("! block %d retired — DP-informed retention deletes its raw data\n", id)
+	})
+
+	// Preprocessing (Listing 1): generate the raw stream, compute the DP
+	// per-hour speed aggregate, and featurize with it.
+	gen := taxi.NewGenerator(taxi.Config{}, 17)
+	rides := gen.Generate(opt.days*8000, 0, int64(opt.days)*24)
+	clean, _ := taxi.Clean(rides)
+	var speeds []float64
+	if opt.featureEps > 0 {
+		speeds = taxi.SpeedByHour(clean, opt.featureEps, rng.New(19))
+	} else {
+		speeds = taxi.SpeedByHour(clean, 0, nil)
 	}
-	fmt.Printf("\nstream-wide privacy loss (max over blocks): %v — guarantee %v holds\n",
-		ac.StreamLoss(), budget)
+	for _, ex := range taxi.Featurize(clean, speeds).Examples {
+		for _, id := range db.Insert(ex) {
+			ac.RegisterBlock(id)
+		}
+	}
+	fmt.Printf("stream: %d samples in %d blocks (partitioner %s), policy %v\n",
+		db.Size(), db.NumBlocks(), db.Partitioner().Name(), budget)
+
+	// The aggregate is itself a release: account its ε against every
+	// block it read before anything else trains.
+	if opt.featureEps > 0 {
+		featureBudget := privacy.Budget{Epsilon: opt.featureEps}
+		if err := ac.Request(db.Blocks(), featureBudget); err != nil {
+			return fmt.Errorf("sagectl: charging feature release: %w", err)
+		}
+		fmt.Printf("released hour_speed aggregate (24 groups) for %v across %d blocks\n\n",
+			featureBudget, db.NumBlocks())
+	} else {
+		fmt.Printf("released hour_speed aggregate without DP (-feature-eps 0)\n\n")
+	}
+
+	st := store.New()
+	r := rng.New(3)
+	published := 0
+	for i := 0; i < opt.nPipelines; i++ {
+		pipe := demoPipeline(i, serveTargets)
+		// A 10-block window (~80K samples at the demo rate) is what the
+		// paper-scale targets need to validate; smaller windows retry
+		// their way through the whole stream's budget without accepting.
+		trainer := &adaptive.StreamTrainer{
+			AC: ac, DB: db, Pipe: pipe,
+			Epsilon0: budget.Epsilon / 8, EpsilonCap: budget.Epsilon,
+			Delta: opt.delta / 100, MinWindow: min(10, db.NumBlocks()),
+		}
+		res, err := trainer.Run(r)
+		if err != nil {
+			fmt.Printf("pipeline %d (%s): blocked — %v\n", i, pipe.Name, err)
+			continue
+		}
+		fmt.Printf("pipeline %d (%s): %v in %d iterations, %d samples, spent %v\n",
+			i, pipe.Name, res.Decision, res.Iterations, res.Samples, res.TotalSpent)
+		if res.Decision != validation.Accept {
+			continue
+		}
+		spec, err := store.Serialize(res.Model)
+		if err != nil {
+			fmt.Printf("pipeline %d (%s): cannot serialize model: %v\n", i, pipe.Name, err)
+			continue
+		}
+		version := st.Publish(store.Bundle{
+			Name:  pipe.Name,
+			Model: spec,
+			// The bundle ships its serving-time join table (§2.1): the
+			// same released aggregate preprocessing trained against.
+			Features: map[string][]float64{"hour_speed": speeds},
+			Provenance: store.Provenance{
+				Pipeline: pipe.Name,
+				Spent:    res.TotalSpent,
+				Blocks:   res.Blocks,
+				Decision: res.Decision.String(),
+				Quality:  res.Quality,
+			},
+		})
+		published++
+		fmt.Printf("  → published %s@v%d (%d blocks, quality %.4g)\n",
+			pipe.Name, version, len(res.Blocks), res.Quality)
+	}
+
+	printLedger(ac, db, budget)
+	if published == 0 {
+		return fmt.Errorf("sagectl: no pipeline was accepted; nothing to serve")
+	}
+
+	// A bare ":8080" listen address needs a host for the curl hints.
+	base := opt.addr
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	fmt.Printf("\nserving %d model(s) on %s — try:\n", published, opt.addr)
+	fmt.Printf("  curl %s/models\n", base)
+	fmt.Printf("  curl %s/models/taxi-lr-0/provenance\n", base)
+	fmt.Printf("  curl %s/features'?model=taxi-lr-0&key=hour_speed&index=8'\n", base)
+	fmt.Printf("  curl -X POST %s/predict/batch'?model=taxi-lr-0' -d '{\"rows\":[[...48 features...]]}'\n", base)
+	return http.ListenAndServe(opt.addr, store.NewServer(st).Handler())
 }

@@ -33,6 +33,24 @@ type Policy struct {
 	Arithmetic privacy.CompositionArithmetic
 }
 
+// RetireReason records why a block was retired, for audit output
+// (cmd/sagectl's ledger and BlockReport).
+type RetireReason string
+
+const (
+	// RetireNone means the block is active.
+	RetireNone RetireReason = ""
+	// RetireBudgetExhausted means the block's cumulative loss reached the
+	// global ceiling through normal accounting; absent a retention hook
+	// this retirement is reversible by refunds.
+	RetireBudgetExhausted RetireReason = "budget-exhausted"
+	// RetireForced means an operator called Retire; never reversible.
+	RetireForced RetireReason = "forced"
+	// RetireDataDeleted means the DP-retention hook ran on retirement and
+	// deleted the block's raw data (§3.2); never reversible.
+	RetireDataDeleted RetireReason = "retention-deleted"
+)
+
 // blockState tracks one block's accounting.
 type blockState struct {
 	acct    *privacy.Accountant
@@ -42,6 +60,8 @@ type blockState struct {
 	// ran — the DP-retention hook may have deleted the block's raw data
 	// (§3.2), so a later budget refund cannot resurrect it.
 	sticky bool
+	// reason says why the block is retired (RetireNone while active).
+	reason RetireReason
 }
 
 // AccessControl is Sage's DP access-control layer for one sensitive
@@ -119,11 +139,58 @@ func (e ErrBlockExhausted) Error() string {
 		e.ID, e.Requested, e.Remaining)
 }
 
+// uniqueIDs returns ids with duplicates removed, preserving first-
+// occurrence order. Short lists — the common case: adaptive training
+// windows are a few dozen blocks — are checked with a quadratic scan
+// that allocates nothing when there are no duplicates; longer lists pay
+// one map.
+func uniqueIDs(ids []data.BlockID) []data.BlockID {
+	if len(ids) <= 64 {
+		for i := 1; i < len(ids); i++ {
+			for j := 0; j < i; j++ {
+				if ids[j] == ids[i] {
+					return dedupIDs(ids)
+				}
+			}
+		}
+		return ids
+	}
+	seen := make(map[data.BlockID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return dedupIDs(ids)
+		}
+		seen[id] = struct{}{}
+	}
+	return ids
+}
+
+// dedupIDs filters ids to first occurrences. Called only when a
+// duplicate is known to exist.
+func dedupIDs(ids []data.BlockID) []data.BlockID {
+	seen := make(map[data.BlockID]struct{}, len(ids))
+	out := make([]data.BlockID, 0, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Request atomically deducts budget b from every block in ids. If any
 // block cannot afford it the whole request fails with ErrBlockExhausted
 // (or ErrUnknownBlock) and no budget is deducted anywhere. This is the
 // AccessControl predicate of Alg. (4c): the query may run only if every
 // involved block stays within (εg, δg).
+//
+// Duplicate IDs in ids are coalesced: a query reads each block's data
+// once however many times the block is named, so it is checked and
+// charged once per distinct block. (Charging per occurrence while
+// checking per occurrence against pre-spend state — the old behavior —
+// let a request naming a block k times overshoot the ceiling by a factor
+// of k.)
 func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("core: request names no blocks")
@@ -134,6 +201,7 @@ func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 	if b.IsZero() {
 		return nil
 	}
+	ids = uniqueIDs(ids)
 	ac.mu.Lock()
 	var retiredNow []data.BlockID
 	err := func() error {
@@ -157,11 +225,13 @@ func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 			st.acct.Spend(b)
 			if ac.shouldRetire(st) {
 				st.retired = true
+				st.reason = RetireBudgetExhausted
 				// With a retention hook registered, the callback below
 				// deletes the block's raw data: the retirement becomes
 				// irreversible even if budget is refunded later.
 				if ac.onRetire != nil {
 					st.sticky = true
+					st.reason = RetireDataDeleted
 				}
 				retiredNow = append(retiredNow, id)
 			}
@@ -193,6 +263,11 @@ func (ac *AccessControl) shouldRetire(st *blockState) bool {
 // retention hook involved) un-retires it; forced retirements and
 // retirements whose retention callback already ran stay retired — the
 // raw data is gone, so regained budget cannot resurrect the block.
+// Like Request, Refund is atomic: every id is validated before any block
+// is mutated, so an unknown block leaves the ledger untouched instead of
+// refunding a prefix. Duplicate IDs are coalesced for symmetry with
+// Request — a reservation charged once per distinct block must be
+// returned once per distinct block.
 func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 	if err := b.Validate(); err != nil {
 		return err
@@ -200,16 +275,22 @@ func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 	if b.IsZero() {
 		return nil
 	}
+	ids = uniqueIDs(ids)
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
+	// Phase 1: validate every block before touching any of them.
 	for _, id := range ids {
-		st, ok := ac.blocks[id]
-		if !ok {
+		if _, ok := ac.blocks[id]; !ok {
 			return ErrUnknownBlock{ID: id}
 		}
+	}
+	// Phase 2: refund everywhere.
+	for _, id := range ids {
+		st := ac.blocks[id]
 		st.acct.Refund(b)
 		if !st.sticky && !ac.shouldRetire(st) {
 			st.retired = false
+			st.reason = RetireNone
 		}
 	}
 	return nil
@@ -227,6 +308,12 @@ func (ac *AccessControl) Retire(id data.BlockID) error {
 	already := st.retired
 	st.retired = true
 	st.sticky = true
+	// An operator decision supersedes a (reversible) budget-exhaustion
+	// reason, but never rewrites retention-deleted: the data is gone and
+	// the audit trail should keep saying why.
+	if st.reason != RetireDataDeleted {
+		st.reason = RetireForced
+	}
 	cb := ac.onRetire
 	ac.mu.Unlock()
 	if !already && cb != nil {
@@ -315,6 +402,9 @@ type BlockReport struct {
 	Remain  privacy.Budget
 	Queries int
 	Retired bool
+	// Reason distinguishes budget-exhausted, forced, and
+	// retention-deleted retirements (RetireNone while active).
+	Reason RetireReason
 }
 
 // Report returns per-block accounting state for the given blocks.
@@ -338,6 +428,7 @@ func (ac *AccessControl) Report(ids []data.BlockID) []BlockReport {
 			Remain:  remain,
 			Queries: st.acct.NumSpends(),
 			Retired: st.retired,
+			Reason:  st.reason,
 		})
 	}
 	return out

@@ -437,6 +437,185 @@ func TestRequestRefundRoundTripProperty(t *testing.T) {
 	}
 }
 
+// Regression: a request naming the same block multiple times used to
+// pass the phase-1 check per-occurrence against pre-spend state but
+// deduct per-occurrence in phase 2, pushing the block's loss to k·b —
+// past the (εg, δg) ceiling for k·b > εg. Duplicates must be coalesced:
+// the query reads the block's data once, so it is charged once, and the
+// ceiling invariant of Theorem 4.3 must hold afterwards.
+func TestRequestDuplicateBlockIDsCannotExceedCeiling(t *testing.T) {
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	ac.RegisterBlock(2)
+	b := privacy.MustBudget(0.6, 1e-7)
+	// 2×0.6 = 1.2 > εg: per-occurrence deduction would overshoot.
+	if err := ac.Request([]data.BlockID{1, 1}, b); err != nil {
+		t.Fatalf("duplicate-id request should be granted once: %v", err)
+	}
+	if got := ac.BlockLoss(1); math.Abs(got.Epsilon-0.6) > 1e-12 || got.Delta != 1e-7 {
+		t.Errorf("block charged %v for a duplicate-id request, want one charge of %v", got, b)
+	}
+	ceiling := ac.Policy().Global
+	if got := ac.BlockLoss(1); !ceiling.Covers(got) {
+		t.Errorf("block loss %v exceeds global ceiling %v", got, ceiling)
+	}
+	// Interleaved duplicates across distinct blocks behave the same.
+	if err := ac.Request([]data.BlockID{2, 1, 2, 1, 2}, privacy.MustBudget(0.3, 0)); err != nil {
+		t.Fatalf("interleaved duplicates: %v", err)
+	}
+	for _, id := range []data.BlockID{1, 2} {
+		if got := ac.BlockLoss(id); !ceiling.Covers(got) {
+			t.Errorf("block %d loss %v exceeds ceiling %v", id, got, ceiling)
+		}
+	}
+	if got := ac.BlockLoss(1); math.Abs(got.Epsilon-0.9) > 1e-12 {
+		t.Errorf("block 1 loss = %v, want ε=0.9", got)
+	}
+	if got := ac.BlockLoss(2); math.Abs(got.Epsilon-0.3) > 1e-12 {
+		t.Errorf("block 2 loss = %v, want ε=0.3", got)
+	}
+	if sl := ac.StreamLoss(); !ceiling.Covers(sl) {
+		t.Errorf("stream loss %v exceeds ceiling %v", sl, ceiling)
+	}
+}
+
+// Property: however a request repeats its block IDs, no block ever
+// exceeds the ceiling and a duplicate-laden request is exactly
+// equivalent to its deduplicated form.
+func TestRequestDuplicateBlockIDsProperty(t *testing.T) {
+	f := func(picks []uint8, epsRaw uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		const nBlocks = 3
+		dup := newAC(1, 1e-6)
+		ref := newAC(1, 1e-6)
+		for id := data.BlockID(0); id < nBlocks; id++ {
+			dup.RegisterBlock(id)
+			ref.RegisterBlock(id)
+		}
+		b := privacy.Budget{Epsilon: float64(epsRaw)/256*0.8 + 0.01, Delta: 1e-9}
+		ids := make([]data.BlockID, 0, len(picks))
+		for _, p := range picks {
+			ids = append(ids, data.BlockID(p%nBlocks))
+		}
+		errDup := dup.Request(ids, b)
+		errRef := ref.Request(uniqueIDs(ids), b)
+		if (errDup == nil) != (errRef == nil) {
+			return false
+		}
+		for id := data.BlockID(0); id < nBlocks; id++ {
+			if dup.BlockLoss(id) != ref.BlockLoss(id) {
+				return false
+			}
+			if !dup.Policy().Global.Covers(dup.BlockLoss(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: Refund used to mutate blocks in order and bail midway on
+// an unknown ID, leaving earlier blocks refunded — a partial write that
+// under-counts privacy loss. It must validate everything first, like
+// Request.
+func TestRefundAtomicOnUnknownBlock(t *testing.T) {
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	ac.RegisterBlock(2)
+	spend := privacy.MustBudget(0.5, 1e-7)
+	if err := ac.Request([]data.BlockID{1, 2}, spend); err != nil {
+		t.Fatal(err)
+	}
+	// Block 99 is unknown; blocks 1 and 2 precede it in the refund list.
+	err := ac.Refund([]data.BlockID{1, 2, 99}, privacy.MustBudget(0.2, 0))
+	var unknown ErrUnknownBlock
+	if !errors.As(err, &unknown) || unknown.ID != 99 {
+		t.Fatalf("err = %v, want ErrUnknownBlock{99}", err)
+	}
+	for _, id := range []data.BlockID{1, 2} {
+		if got := ac.BlockLoss(id); math.Abs(got.Epsilon-0.5) > 1e-12 {
+			t.Errorf("failed refund partially applied: block %d loss = %v, want ε=0.5", id, got)
+		}
+	}
+	// A valid refund still works afterwards.
+	if err := ac.Refund([]data.BlockID{1, 2}, privacy.MustBudget(0.2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.BlockLoss(1); math.Abs(got.Epsilon-0.3) > 1e-12 {
+		t.Errorf("loss after valid refund = %v, want ε=0.3", got)
+	}
+}
+
+// Refund with duplicate IDs must refund once per distinct block — the
+// mirror of Request's coalescing. (Per-occurrence refunds would strip
+// more than was spent and panic in the accountant.)
+func TestRefundDuplicateBlockIDsCoalesced(t *testing.T) {
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	spend := privacy.MustBudget(0.4, 0)
+	if err := ac.Request([]data.BlockID{1}, spend); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Refund([]data.BlockID{1, 1, 1}, spend); err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.BlockLoss(1); !got.IsZero() {
+		t.Errorf("loss after duplicate-id refund = %v, want zero", got)
+	}
+}
+
+func TestBlockReportReason(t *testing.T) {
+	// budget-exhausted (no retention hook).
+	ac := newAC(1, 1e-6)
+	ac.RegisterBlock(1)
+	ac.RegisterBlock(2)
+	ac.RegisterBlock(3)
+	ac.Request([]data.BlockID{1}, privacy.MustBudget(1, 0))
+	// forced.
+	if err := ac.Retire(2); err != nil {
+		t.Fatal(err)
+	}
+	rep := ac.Report([]data.BlockID{1, 2, 3})
+	if rep[0].Reason != RetireBudgetExhausted {
+		t.Errorf("exhausted block reason = %q, want %q", rep[0].Reason, RetireBudgetExhausted)
+	}
+	if rep[1].Reason != RetireForced {
+		t.Errorf("forced block reason = %q, want %q", rep[1].Reason, RetireForced)
+	}
+	if rep[2].Reason != RetireNone || rep[2].Retired {
+		t.Errorf("active block report = %+v, want no reason", rep[2])
+	}
+	// Refund un-retires the exhausted block and clears its reason.
+	if err := ac.Refund([]data.BlockID{1}, privacy.MustBudget(0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if rep := ac.Report([]data.BlockID{1}); rep[0].Retired || rep[0].Reason != RetireNone {
+		t.Errorf("un-retired block report = %+v, want active with no reason", rep[0])
+	}
+
+	// retention-deleted: hook registered, exhaustion runs the deletion.
+	ac2 := newAC(1, 1e-6)
+	ac2.RegisterBlock(1)
+	ac2.SetRetireCallback(func(data.BlockID) {})
+	ac2.Request([]data.BlockID{1}, privacy.MustBudget(1, 0))
+	rep = ac2.Report([]data.BlockID{1})
+	if rep[0].Reason != RetireDataDeleted {
+		t.Errorf("retention block reason = %q, want %q", rep[0].Reason, RetireDataDeleted)
+	}
+	// A later forced retirement keeps the retention-deleted audit trail.
+	if err := ac2.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	if rep := ac2.Report([]data.BlockID{1}); rep[0].Reason != RetireDataDeleted {
+		t.Errorf("reason after Retire = %q, want %q kept", rep[0].Reason, RetireDataDeleted)
+	}
+}
+
 func TestMultiContext(t *testing.T) {
 	m := NewMultiContextAccessControl(Policy{Global: privacy.MustBudget(1, 1e-6)})
 	m.RegisterBlock(1)

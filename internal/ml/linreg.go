@@ -21,6 +21,15 @@ func (m *LinearModel) Predict(x []float64) float64 {
 	return linalg.Dot(m.Weights, x) + m.Bias
 }
 
+// PredictBatch implements BatchPredictor: the weight slice and bias are
+// loaded once for the whole batch instead of per interface call.
+func (m *LinearModel) PredictBatch(rows [][]float64, out []float64) {
+	w, b := m.Weights, m.Bias
+	for i, x := range rows {
+		out[i] = linalg.Dot(w, x) + b
+	}
+}
+
 // RidgeConfig configures non-private closed-form ridge regression, the
 // "LR NP" baseline of Fig. 5.
 type RidgeConfig struct {

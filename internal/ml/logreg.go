@@ -23,6 +23,15 @@ func (m *LogisticRegression) Predict(x []float64) float64 {
 	return Sigmoid(linalg.Dot(m.params[:m.dim], x) + m.params[m.dim])
 }
 
+// PredictBatch implements BatchPredictor: weights and bias are sliced
+// out of the parameter vector once per batch.
+func (m *LogisticRegression) PredictBatch(rows [][]float64, out []float64) {
+	w, b := m.params[:m.dim], m.params[m.dim]
+	for i, x := range rows {
+		out[i] = Sigmoid(linalg.Dot(w, x) + b)
+	}
+}
+
 // Params implements GradModel.
 func (m *LogisticRegression) Params() []float64 { return m.params }
 
@@ -55,6 +64,14 @@ func NewSGDLinearRegression(dim int) *SGDLinearRegression {
 // Predict implements Model.
 func (m *SGDLinearRegression) Predict(x []float64) float64 {
 	return linalg.Dot(m.params[:m.dim], x) + m.params[m.dim]
+}
+
+// PredictBatch implements BatchPredictor.
+func (m *SGDLinearRegression) PredictBatch(rows [][]float64, out []float64) {
+	w, b := m.params[:m.dim], m.params[m.dim]
+	for i, x := range rows {
+		out[i] = linalg.Dot(w, x) + b
+	}
 }
 
 // Params implements GradModel.

@@ -131,6 +131,26 @@ func (m *MLP) Predict(x []float64) float64 {
 	return z
 }
 
+// PredictBatch implements BatchPredictor, reusing the network's scratch
+// buffers across the whole batch; the kind branch is hoisted out of the
+// per-row loop.
+func (m *MLP) PredictBatch(rows [][]float64, out []float64) {
+	if m.kind == BinaryClassification {
+		for i, x := range rows {
+			out[i] = Sigmoid(m.forward(x))
+		}
+		return
+	}
+	for i, x := range rows {
+		out[i] = m.forward(x)
+	}
+}
+
+// predictUsesSharedScratch implements SerialPredictor: forward passes
+// write the shared activation buffers, so one MLP instance must not be
+// predicted from multiple goroutines at once.
+func (m *MLP) predictUsesSharedScratch() {}
+
 // Grad implements GradModel via backpropagation. For both heads the
 // output delta is (prediction − label): squared loss (halved) with
 // identity output and log loss with sigmoid output share this form.

@@ -29,6 +29,42 @@ type GradModel interface {
 	Grad(features []float64, label float64, out []float64)
 }
 
+// BatchPredictor is implemented by models with a batched prediction fast
+// path: PredictBatch writes one prediction per row into out
+// (len(out) == len(rows)), hoisting per-call overhead (interface
+// dispatch, parameter-slice re-derivation, scratch setup) out of the
+// per-row loop. The serving layer's /predict/batch endpoint routes
+// through it.
+type BatchPredictor interface {
+	Model
+	PredictBatch(rows [][]float64, out []float64)
+}
+
+// PredictBatch evaluates the model on every row, using the model's
+// batched fast path when it has one and falling back to a Predict loop
+// otherwise. out must have len(rows) entries.
+func PredictBatch(m Model, rows [][]float64, out []float64) {
+	if len(out) != len(rows) {
+		panic("ml: PredictBatch output length mismatch")
+	}
+	if bp, ok := m.(BatchPredictor); ok {
+		bp.PredictBatch(rows, out)
+		return
+	}
+	for i, x := range rows {
+		out[i] = m.Predict(x)
+	}
+}
+
+// SerialPredictor marks models whose Predict (and PredictBatch) mutate
+// shared internal scratch and must therefore be serialized by callers
+// sharing one instance across goroutines — the MLP reuses its
+// activation buffers. Stateless predictors (linear, logistic, constant)
+// do not implement it and may be called concurrently.
+type SerialPredictor interface {
+	predictUsesSharedScratch()
+}
+
 // MSE returns the mean squared error of the model on the dataset
 // (the paper's Taxi regression metric). It returns 0 on empty data.
 func MSE(m Model, ds *data.Dataset) float64 {
@@ -99,6 +135,13 @@ type ConstantModel struct{ Value float64 }
 
 // Predict implements Model.
 func (c ConstantModel) Predict([]float64) float64 { return c.Value }
+
+// PredictBatch implements BatchPredictor.
+func (c ConstantModel) PredictBatch(rows [][]float64, out []float64) {
+	for i := range rows {
+		out[i] = c.Value
+	}
+}
 
 // NaiveMeanModel returns the constant model predicting the dataset's mean
 // label.

@@ -4,9 +4,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
+	"repro/internal/data"
 	"repro/internal/ml"
+)
+
+// maxBatchRows bounds one /predict/batch request so a single client
+// cannot pin a handler goroutine (and its response buffer) arbitrarily
+// long.
+const maxBatchRows = 10_000
+
+// Request-body byte limits, enforced with http.MaxBytesReader *before*
+// JSON decode: the row-count check alone runs only after the whole body
+// has been materialized, which would let one request allocate
+// arbitrarily much. 32 MiB comfortably fits maxBatchRows rows at a few
+// hundred features.
+const (
+	maxBatchBodyBytes   = 32 << 20
+	maxPredictBodyBytes = 1 << 20
 )
 
 // Server is the Serving Infrastructure of Fig. 1: it loads bundles from
@@ -18,12 +35,19 @@ import (
 //
 // Endpoints:
 //
-//	GET  /models                 → JSON list of {name, version, pipeline}
-//	POST /predict?model=<name>   → {"prediction": …} for {"features": […]}
+//	GET  /models                        → JSON list of {name, version, pipeline}
+//	GET  /models/{name}/provenance      → audit view: blocks, budget, decision
+//	POST /predict?model=<name>          → {"prediction": …} for {"features": […]}
+//	POST /predict/batch?model=<name>    → positional predictions for {"rows": [[…], …]}
+//	GET  /features?model=<name>&key=<k> → a released aggregate table (&index=<i>
+//	                                      for a single-value serving-time join)
+//
+// Every endpoint taking ?model= also accepts ?version= to pin an older
+// release; the default is the latest version.
 type Server struct {
 	store *Store
 	mu    sync.Mutex
-	cache map[modelKey]ml.Model
+	cache map[modelKey]*cachedModel
 }
 
 // modelKey identifies one cached model instantiation.
@@ -32,16 +56,48 @@ type modelKey struct {
 	version int
 }
 
+// cachedModel is one live model. predictMu is non-nil for models whose
+// Predict mutates shared scratch (ml.SerialPredictor): those are safe to
+// cache and share, but calls into them must be serialized. Stateless
+// models carry a nil mutex and run concurrently.
+type cachedModel struct {
+	model     ml.Model
+	predictMu *sync.Mutex
+}
+
+// predict evaluates one row, serializing if the model requires it.
+func (c *cachedModel) predict(x []float64) float64 {
+	if c.predictMu != nil {
+		c.predictMu.Lock()
+		defer c.predictMu.Unlock()
+	}
+	return c.model.Predict(x)
+}
+
+// predictBatch evaluates all rows through the model's batched fast path,
+// taking the serialization lock once for the whole batch — this is the
+// lock-amortization /predict/batch exists for.
+func (c *cachedModel) predictBatch(rows [][]float64, out []float64) {
+	if c.predictMu != nil {
+		c.predictMu.Lock()
+		defer c.predictMu.Unlock()
+	}
+	ml.PredictBatch(c.model, rows, out)
+}
+
 // NewServer returns a server over the store.
 func NewServer(s *Store) *Server {
-	return &Server{store: s, cache: make(map[modelKey]ml.Model)}
+	return &Server{store: s, cache: make(map[modelKey]*cachedModel)}
 }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /models/{name}/provenance", s.handleProvenance)
 	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
+	mux.HandleFunc("GET /features", s.handleFeatures)
 	return mux
 }
 
@@ -55,8 +111,10 @@ type modelInfo struct {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	var out []modelInfo
-	for _, name := range s.store.List() {
+	names := s.store.List()
+	// Non-nil so an empty store serializes as [], not JSON null.
+	out := make([]modelInfo, 0, len(names))
+	for _, name := range names {
 		if b, ok := s.store.Latest(name); ok {
 			out = append(out, modelInfo{
 				Name: b.Name, Version: b.Version,
@@ -67,6 +125,73 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// provenanceResponse is the audit view of one released bundle: enough to
+// reconcile the release against the stream's privacy ledger.
+type provenanceResponse struct {
+	Model    string         `json:"model"`
+	Version  int            `json:"version"`
+	Pipeline string         `json:"pipeline"`
+	Epsilon  float64        `json:"epsilon_spent"`
+	Delta    float64        `json:"delta_spent"`
+	Blocks   []data.BlockID `json:"blocks"`
+	Decision string         `json:"decision"`
+	Quality  float64        `json:"quality"`
+	// TotalEpsilon sums the spend across every published version of this
+	// name — the auditor's per-model-line tally (Store.TotalSpent).
+	TotalEpsilon float64 `json:"total_epsilon_spent"`
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	bundle, ok := s.resolve(name, r.URL.Query().Get("version"), w)
+	if !ok {
+		return
+	}
+	blocks := bundle.Provenance.Blocks
+	if blocks == nil {
+		blocks = []data.BlockID{}
+	}
+	writeJSON(w, http.StatusOK, provenanceResponse{
+		Model:        bundle.Name,
+		Version:      bundle.Version,
+		Pipeline:     bundle.Provenance.Pipeline,
+		Epsilon:      bundle.Provenance.Spent.Epsilon,
+		Delta:        bundle.Provenance.Spent.Delta,
+		Blocks:       blocks,
+		Decision:     bundle.Provenance.Decision,
+		Quality:      bundle.Provenance.Quality,
+		TotalEpsilon: s.store.TotalSpent(bundle.Name).Epsilon,
+	})
+}
+
+// resolve looks up a bundle by name and optional version string,
+// writing the HTTP error itself when the lookup fails.
+func (s *Server) resolve(name, version string, w http.ResponseWriter) (*Bundle, bool) {
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing model name")
+		return nil, false
+	}
+	if version == "" {
+		bundle, ok := s.store.Latest(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+			return nil, false
+		}
+		return bundle, true
+	}
+	v, err := strconv.Atoi(version)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid version: "+err.Error())
+		return nil, false
+	}
+	bundle, ok := s.store.Get(name, v)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown version %d of model %q", v, name))
+		return nil, false
+	}
+	return bundle, true
 }
 
 // predictRequest is the body of POST /predict.
@@ -82,18 +207,13 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("model")
-	if name == "" {
-		httpError(w, http.StatusBadRequest, "missing ?model=")
-		return
-	}
-	bundle, ok := s.store.Latest(name)
+	q := r.URL.Query()
+	bundle, ok := s.resolve(q.Get("model"), q.Get("version"), w)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
 		return
 	}
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBodyBytes)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
@@ -102,7 +222,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// the handler goroutine.
 	if want := bundle.Model.InputDim(); want > 0 && len(req.Features) != want {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf(
-			"model %q expects %d features, got %d", name, want, len(req.Features)))
+			"model %q expects %d features, got %d", bundle.Name, want, len(req.Features)))
 		return
 	}
 	model, err := s.model(bundle)
@@ -112,15 +232,167 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, predictResponse{
 		Model: bundle.Name, Version: bundle.Version,
-		Prediction: model.Predict(req.Features),
+		Prediction: model.predict(req.Features),
 	})
 }
 
+// batchRequest is the body of POST /predict/batch.
+type batchRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// rowError reports one invalid row by its position in the request.
+type rowError struct {
+	Row   int    `json:"row"`
+	Error string `json:"error"`
+}
+
+// batchResponse is the reply: predictions are positional with one entry
+// per request row; invalid rows carry null there and an entry in errors.
+type batchResponse struct {
+	Model       string     `json:"model"`
+	Version     int        `json:"version"`
+	Predictions []*float64 `json:"predictions"`
+	Errors      []rowError `json:"errors,omitempty"`
+}
+
+// handlePredictBatch runs N rows through one cached model instantiation:
+// one store lookup, one cache lookup, and (for scratch-sharing models)
+// one lock acquisition are amortized over the whole batch, against N of
+// each for N singleton /predict calls. Malformed rows do not fail the
+// batch — they are reported positionally so the caller can join
+// predictions back to its inputs by index.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	bundle, ok := s.resolve(q.Get("model"), q.Get("version"), w)
+	if !ok {
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: rows must contain at least one feature vector")
+		return
+	}
+	if len(req.Rows) > maxBatchRows {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"batch of %d rows exceeds the %d-row limit", len(req.Rows), maxBatchRows))
+		return
+	}
+	model, err := s.model(bundle)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := batchResponse{
+		Model: bundle.Name, Version: bundle.Version,
+		Predictions: make([]*float64, len(req.Rows)),
+	}
+	// Split valid from malformed rows, keeping each valid row's original
+	// position so predictions land back where the caller expects them.
+	want := bundle.Model.InputDim()
+	valid := make([][]float64, 0, len(req.Rows))
+	positions := make([]int, 0, len(req.Rows))
+	for i, row := range req.Rows {
+		if want > 0 && len(row) != want {
+			resp.Errors = append(resp.Errors, rowError{
+				Row:   i,
+				Error: fmt.Sprintf("model %q expects %d features, got %d", bundle.Name, want, len(row)),
+			})
+			continue
+		}
+		valid = append(valid, row)
+		positions = append(positions, i)
+	}
+	if len(valid) > 0 {
+		out := make([]float64, len(valid))
+		model.predictBatch(valid, out)
+		for j, i := range positions {
+			v := out[j]
+			resp.Predictions[i] = &v
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// featuresResponse is the reply to GET /features. Exactly one of Keys,
+// Values, Value is populated depending on the query shape.
+type featuresResponse struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	// Keys lists the bundle's aggregate tables (no key given).
+	Keys []string `json:"keys,omitempty"`
+	// Key and Values return one whole table, e.g. Listing 1's per-hour
+	// speed join.
+	Key    string    `json:"key,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+	// Index and Value return a single entry for serving-time joins that
+	// need one group's aggregate (e.g. the current hour's speed).
+	Index *int     `json:"index,omitempty"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+// handleFeatures serves the released aggregate feature tables a bundle
+// carries (§2.1: the model ships "bundled with its feature
+// transformation operators"). Serving-time code performs Listing 1-style
+// joins against these tables: ?key=<table> returns the whole table,
+// &index=<i> a single value.
+func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	bundle, ok := s.resolve(q.Get("model"), q.Get("version"), w)
+	if !ok {
+		return
+	}
+	resp := featuresResponse{Model: bundle.Name, Version: bundle.Version}
+	key := q.Get("key")
+	if key == "" {
+		if q.Has("index") {
+			httpError(w, http.StatusBadRequest, "?index= requires ?key=")
+			return
+		}
+		resp.Keys = bundle.FeatureKeys()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	table, ok := bundle.Features[key]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf(
+			"model %q has no feature table %q (available: %v)", bundle.Name, key, bundle.FeatureKeys()))
+		return
+	}
+	resp.Key = key
+	if !q.Has("index") {
+		// Bundles are immutable once published (Publish deep-copies), so
+		// handing the slice to the JSON encoder is safe.
+		resp.Values = table
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	idx, err := strconv.Atoi(q.Get("index"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid index: "+err.Error())
+		return
+	}
+	if idx < 0 || idx >= len(table) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"index %d out of range for table %q of length %d", idx, key, len(table)))
+		return
+	}
+	resp.Index = &idx
+	resp.Value = &table[idx]
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // model returns the cached instantiation of a bundle, evicting the
-// name's older versions on a fresh instantiation: /predict always serves
-// Latest, so once a newer version is live its predecessors can never be
-// requested again and keeping them would leak a model per publish.
-func (s *Server) model(b *Bundle) (ml.Model, error) {
+// name's older versions on a fresh instantiation: prediction always
+// serves Latest, so once a newer version is live its predecessors can
+// never be requested again and keeping them would leak a model per
+// publish.
+func (s *Server) model(b *Bundle) (*cachedModel, error) {
 	key := modelKey{name: b.Name, version: b.Version}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,12 +403,16 @@ func (s *Server) model(b *Bundle) (ml.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	cm := &cachedModel{model: m}
+	if _, serial := m.(ml.SerialPredictor); serial {
+		cm.predictMu = &sync.Mutex{}
+	}
 	// A request that read Latest before a concurrent publish may arrive
 	// here with a superseded bundle; serve it without caching so the
 	// one-live-model-per-name bound survives publish/predict races.
 	for k := range s.cache {
 		if k.name == b.Name && k.version > b.Version {
-			return m, nil
+			return cm, nil
 		}
 	}
 	for k := range s.cache {
@@ -144,8 +420,8 @@ func (s *Server) model(b *Bundle) (ml.Model, error) {
 			delete(s.cache, k)
 		}
 	}
-	s.cache[key] = m
-	return m, nil
+	s.cache[key] = cm
+	return cm, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

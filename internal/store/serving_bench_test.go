@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+	"repro/internal/taxi"
+)
+
+// benchServer publishes one model of the given spec and returns a test
+// server plus a keep-alive client.
+func benchServer(b *testing.B, m ml.Model) (*httptest.Server, *http.Client) {
+	b.Helper()
+	s := New()
+	spec, err := Serialize(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Publish(Bundle{Name: "bench", Model: spec})
+	srv := httptest.NewServer(NewServer(s).Handler())
+	b.Cleanup(srv.Close)
+	return srv, srv.Client()
+}
+
+// benchRows builds n taxi-dimensional feature vectors.
+func benchRows(n int) [][]float64 {
+	r := rng.New(11)
+	rows := make([][]float64, n)
+	for i := range rows {
+		x := make([]float64, taxi.FeatureDim)
+		for j := range x {
+			x[j] = r.Float64()
+		}
+		rows[i] = x
+	}
+	return rows
+}
+
+func post(b *testing.B, c *http.Client, url string, payload []byte) {
+	b.Helper()
+	resp, err := c.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServePredictBatch measures end-to-end HTTP throughput of
+// POST /predict/batch — JSON decode, positional validation, one cached
+// model instantiation for the whole batch, JSON encode — at taxi
+// dimensionality (48 features). The rows/s metric is the serving
+// number that matters for Fig. 1's serving infrastructure.
+func BenchmarkServePredictBatch(b *testing.B) {
+	weights := make([]float64, taxi.FeatureDim)
+	for i := range weights {
+		weights[i] = float64(i%7) * 0.1
+	}
+	models := []struct {
+		name  string
+		model ml.Model
+	}{
+		{"linear", &ml.LinearModel{Weights: weights, Bias: 0.5}},
+		{"mlp", ml.NewMLP(ml.Regression, taxi.FeatureDim, []int{64, 32}, rng.New(5))},
+	}
+	for _, m := range models {
+		for _, batch := range []int{16, 256, 2048} {
+			b.Run(fmt.Sprintf("%s/rows=%d", m.name, batch), func(b *testing.B) {
+				srv, client := benchServer(b, m.model)
+				payload, err := json.Marshal(batchRequest{Rows: benchRows(batch)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				url := srv.URL + "/predict/batch?model=bench"
+				post(b, client, url, payload) // warm the model cache
+				b.SetBytes(int64(len(payload)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					post(b, client, url, payload)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
+}
+
+// BenchmarkServePredictSingle is the per-request baseline the batch
+// endpoint amortizes: the same rows pushed one HTTP round trip at a
+// time.
+func BenchmarkServePredictSingle(b *testing.B) {
+	weights := make([]float64, taxi.FeatureDim)
+	for i := range weights {
+		weights[i] = float64(i%7) * 0.1
+	}
+	srv, client := benchServer(b, &ml.LinearModel{Weights: weights, Bias: 0.5})
+	payload, err := json.Marshal(predictRequest{Features: benchRows(1)[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := srv.URL + "/predict?model=bench"
+	post(b, client, url, payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(b, client, url, payload)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -185,15 +185,48 @@ func New() *Store {
 	return &Store{bundles: make(map[string][]*Bundle)}
 }
 
+// deepCopy returns a bundle sharing no mutable memory with b: the
+// feature map and its value slices, the model's parameter slices, and
+// the provenance block list are all copied.
+func (b Bundle) deepCopy() *Bundle {
+	c := b
+	c.Model.Weights = append([]float64(nil), b.Model.Weights...)
+	c.Model.Hidden = append([]int(nil), b.Model.Hidden...)
+	c.Model.Params = append([]float64(nil), b.Model.Params...)
+	c.Provenance.Blocks = append([]data.BlockID(nil), b.Provenance.Blocks...)
+	if b.Features != nil {
+		c.Features = make(map[string][]float64, len(b.Features))
+		for k, v := range b.Features {
+			c.Features[k] = append([]float64(nil), v...)
+		}
+	}
+	return &c
+}
+
 // Publish adds a bundle under its name and assigns the next version
-// (starting at 1). It returns the assigned version.
+// (starting at 1). It returns the assigned version. The store keeps a
+// deep copy: a published bundle is a *release* — immutable by the threat
+// model (§2.2) — so later mutation of the caller's feature map or
+// parameter slices must not rewrite what auditors and servers see.
 func (s *Store) Publish(b Bundle) int {
+	stored := b.deepCopy()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	versions := s.bundles[b.Name]
-	b.Version = len(versions) + 1
-	s.bundles[b.Name] = append(versions, &b)
-	return b.Version
+	stored.Version = len(versions) + 1
+	s.bundles[b.Name] = append(versions, stored)
+	return stored.Version
+}
+
+// FeatureKeys returns the bundle's released aggregate table names,
+// sorted.
+func (b *Bundle) FeatureKeys() []string {
+	out := make([]string, 0, len(b.Features))
+	for k := range b.Features {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Latest returns the most recent version of the named bundle.

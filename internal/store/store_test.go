@@ -139,6 +139,60 @@ func TestStoreTotalSpent(t *testing.T) {
 	}
 }
 
+// Regression: Publish used to store the caller's Bundle value with its
+// Features map, Weights/Params slices, and provenance Blocks shared. A
+// caller mutating those after publishing silently rewrote a "released"
+// bundle — exactly what the §2.2 threat model says must be impossible.
+func TestPublishIsolatedFromCallerMutation(t *testing.T) {
+	s := New()
+	weights := []float64{1, 2}
+	hourSpeed := []float64{30, 29, 28}
+	blocks := []data.BlockID{1, 2}
+	b := Bundle{
+		Name:     "m",
+		Model:    ModelSpec{Kind: "linear", Weights: weights, Bias: 1},
+		Features: map[string][]float64{"hour_speed": hourSpeed},
+		Provenance: Provenance{
+			Pipeline: "demo", Blocks: blocks,
+			Spent: privacy.MustBudget(0.5, 0), Decision: "ACCEPT",
+		},
+	}
+	s.Publish(b)
+
+	// The caller now mutates everything it still holds references to.
+	weights[0] = 999
+	hourSpeed[0] = -1
+	blocks[0] = 99
+	b.Features["injected"] = []float64{666}
+	b.Model.Weights[1] = 999
+
+	got, ok := s.Latest("m")
+	if !ok {
+		t.Fatal("bundle missing")
+	}
+	if got.Model.Weights[0] != 1 || got.Model.Weights[1] != 2 {
+		t.Errorf("published weights mutated: %v", got.Model.Weights)
+	}
+	if got.Features["hour_speed"][0] != 30 {
+		t.Errorf("published feature table mutated: %v", got.Features["hour_speed"])
+	}
+	if _, leaked := got.Features["injected"]; leaked {
+		t.Error("caller injected a feature table into a released bundle")
+	}
+	if got.Provenance.Blocks[0] != 1 {
+		t.Errorf("published provenance blocks mutated: %v", got.Provenance.Blocks)
+	}
+
+	// Params-based models are isolated too.
+	params := []float64{1, 2, 3, 4}
+	s.Publish(Bundle{Name: "p", Model: ModelSpec{Kind: "logistic", Dim: 3, Params: params}})
+	params[0] = 999
+	got, _ = s.Latest("p")
+	if got.Model.Params[0] != 1 {
+		t.Errorf("published params mutated: %v", got.Model.Params)
+	}
+}
+
 func TestStoreConcurrentPublish(t *testing.T) {
 	s := New()
 	spec, _ := Serialize(ml.ConstantModel{Value: 1})
@@ -341,7 +395,7 @@ func TestServingStaleVersionNotReCached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m1.Predict([]float64{1}); got != 1 {
+	if got := m1.predict([]float64{1}); got != 1 {
 		t.Errorf("stale bundle served wrong model: predict = %v, want 1", got)
 	}
 	server.mu.Lock()
