@@ -9,7 +9,8 @@
 // Usage:
 //
 //	sagectl [ledger] [-epsg 1.0] [-delta 1e-6] [-days 30] [-pipelines 3] [-user-blocks]
-//	sagectl serve [-addr :8080] [-feature-eps 0.1] [ledger flags]
+//	sagectl serve [-addr :8080] [-feature-eps 0.1] [-push http://r1:8081,http://r2:8081] [ledger flags]
+//	sagectl replica [-addr :8081]
 //
 // In serve mode, accepted pipelines are published as bundles — model,
 // the DP per-hour speed table (Listing 1's aggregate feature), and
@@ -20,6 +21,14 @@
 //	POST /predict?model=<name>             single prediction
 //	POST /predict/batch?model=<name>       batched predictions
 //	GET  /features?model=<name>&key=hour_speed[&index=H]   serving-time join
+//
+// With -push, every accepted bundle is additionally pushed to the given
+// replica endpoints (versioned idempotent push with retry/backoff and
+// gap backfill; see internal/replica). Replicas are started with
+// `sagectl replica`: they serve the identical read API plus
+//
+//	POST /push              receive one encoded bundle (publisher-only)
+//	GET  /replica/status    applied-version watermarks per model
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/internal/taxi"
@@ -47,15 +57,16 @@ type options struct {
 	days       int
 	nPipelines int
 	userBlocks bool
-	// serve-only.
+	// serve/replica-only.
 	addr       string
 	featureEps float64
+	push       string
 }
 
 func main() {
 	args := os.Args[1:]
 	mode := "ledger"
-	if len(args) > 0 && (args[0] == "ledger" || args[0] == "serve") {
+	if len(args) > 0 && (args[0] == "ledger" || args[0] == "serve" || args[0] == "replica") {
 		mode = args[0]
 		args = args[1:]
 	}
@@ -67,11 +78,25 @@ func main() {
 	fs.IntVar(&opt.days, "days", 30, "days of stream to generate")
 	fs.IntVar(&opt.nPipelines, "pipelines", 3, "number of pipelines to run")
 	fs.BoolVar(&opt.userBlocks, "user-blocks", false, "partition blocks by user ID (user-level privacy, §4.4) instead of by day")
-	if mode == "serve" {
+	switch mode {
+	case "serve":
 		fs.StringVar(&opt.addr, "addr", ":8080", "HTTP listen address for the serving API")
 		fs.Float64Var(&opt.featureEps, "feature-eps", 0.2, "ε spent releasing the per-hour speed aggregate (Listing 1)")
+		fs.StringVar(&opt.push, "push", "", "comma-separated replica base URLs to push accepted bundles to")
+	case "replica":
+		fs.StringVar(&opt.addr, "addr", ":8081", "HTTP listen address for this replica")
 	}
 	_ = fs.Parse(args)
+
+	// A replica never trains: it has no budget, no stream, no pipelines —
+	// only what the publisher pushes into it.
+	if mode == "replica" {
+		if err := runReplica(opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	budget, err := privacy.NewBudget(opt.epsG, opt.delta)
 	if err != nil {
@@ -180,6 +205,20 @@ func runLedger(opt options, budget privacy.Budget) error {
 	return nil
 }
 
+// runReplica serves one member of the replicated tier: an empty local
+// store that fills up as a publisher pushes bundles, answering the same
+// read API as serve mode.
+func runReplica(opt options) error {
+	base := opt.addr
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	fmt.Printf("replica on %s — push bundles with `sagectl serve -push http://%s`, inspect with:\n", opt.addr, base)
+	fmt.Printf("  curl %s/replica/status\n", base)
+	fmt.Printf("  curl %s/models\n", base)
+	return http.ListenAndServe(opt.addr, replica.NewServer().Handler())
+}
+
 // runServe publishes accepted pipelines into the model & feature store
 // and serves them: the complete Fig. 1 loop.
 func runServe(opt options, budget privacy.Budget) error {
@@ -221,6 +260,18 @@ func runServe(opt options, budget privacy.Budget) error {
 	}
 
 	st := store.New()
+	// With -push, accepted bundles also fan out to the replica tier as
+	// they publish (versioned idempotent push; stragglers and late
+	// joiners are reconciled by the final Sync).
+	var pub *replica.Publisher
+	if opt.push != "" {
+		endpoints := strings.Split(opt.push, ",")
+		for i := range endpoints {
+			endpoints[i] = strings.TrimSpace(endpoints[i])
+		}
+		pub = replica.NewPublisher(st, endpoints)
+		fmt.Printf("pushing accepted bundles to %d replica(s): %s\n", len(endpoints), strings.Join(endpoints, ", "))
+	}
 	r := rng.New(3)
 	published := 0
 	for i := 0; i < opt.nPipelines; i++ {
@@ -248,7 +299,7 @@ func runServe(opt options, budget privacy.Budget) error {
 			fmt.Printf("pipeline %d (%s): cannot serialize model: %v\n", i, pipe.Name, err)
 			continue
 		}
-		version := st.Publish(store.Bundle{
+		bundle := store.Bundle{
 			Name:  pipe.Name,
 			Model: spec,
 			// The bundle ships its serving-time join table (§2.1): the
@@ -261,7 +312,19 @@ func runServe(opt options, budget privacy.Budget) error {
 				Decision: res.Decision.String(),
 				Quality:  res.Quality,
 			},
-		})
+		}
+		var version int
+		if pub != nil {
+			var pushErr error
+			version, pushErr = pub.Publish(bundle)
+			if pushErr != nil {
+				// The release is durable locally; replicas reconverge on
+				// the Sync below or the next run.
+				fmt.Printf("  ! push %s@v%d: %v\n", pipe.Name, version, pushErr)
+			}
+		} else {
+			version = st.Publish(bundle)
+		}
 		published++
 		fmt.Printf("  → published %s@v%d (%d blocks, quality %.4g)\n",
 			pipe.Name, version, len(res.Blocks), res.Quality)
@@ -270,6 +333,16 @@ func runServe(opt options, budget privacy.Budget) error {
 	printLedger(ac, db, budget)
 	if published == 0 {
 		return fmt.Errorf("sagectl: no pipeline was accepted; nothing to serve")
+	}
+	if pub != nil {
+		if err := pub.Sync(); err != nil {
+			fmt.Printf("! replica sync: %v\n", err)
+		}
+		for _, ep := range pub.Endpoints() {
+			for _, name := range st.List() {
+				fmt.Printf("replica %s: %s at v%d\n", ep, name, pub.Watermark(ep, name))
+			}
+		}
 	}
 
 	// A bare ":8080" listen address needs a host for the curl hints.

@@ -69,12 +69,55 @@
 // errors reported positionally, and GET /features serves the bundle's
 // released aggregate tables (Listing 1's per-hour speed join; &index=
 // for single-value serving-time joins). Models implement a
-// ml.BatchPredictor fast path; scratch-sharing models (the MLP) are
-// serialized behind a per-instance lock taken once per batch. `sagectl
-// serve` runs the whole loop — stream → DP aggregate → pipelines →
-// publish → serve; BENCH_serving.json records HTTP-level throughput
-// (~79K rows/s batched at 256 rows vs ~25K rows/s singleton on taxi
+// ml.BatchPredictor fast path; scratch-sharing models (the MLP,
+// ml.SerialPredictor) are served from a pool of prediction clones
+// (ml.ScratchCloner: shared read-only parameters, private scratch), so
+// concurrent connections predict in parallel instead of serializing
+// behind one lock — models that cannot clone fall back to a
+// per-instance lock taken once per batch. `sagectl serve` runs the
+// whole loop — stream → DP aggregate → pipelines → publish → serve;
+// BENCH_serving.json records HTTP-level throughput (~79K rows/s
+// batched at 256 rows vs ~25K rows/s singleton on taxi
 // dimensionality).
+//
+// Underneath every handler sits a connection-level fast path. The
+// immutable read endpoints (model list, provenance, whole feature
+// tables) are served from pre-encoded JSON keyed on the store's
+// generation counter: the store only changes on publish, so responses
+// replay byte-for-byte until a publish flushes the cache. The batch
+// predict path pools its whole working set (decoded row buffers, the
+// valid/position split, prediction outputs, and the response encode
+// buffer) in a sync.Pool, and decodes request bodies with a streaming
+// token decoder behind http.MaxBytesReader — a warm 256-row request
+// runs in ~370 allocations instead of ~2200, and an oversized body is
+// abandoned at the row limit instead of being materialized.
+//
+// # Replicated serving tier
+//
+// internal/replica completes Fig. 1's last arrow — accepted models
+// "bundled with feature transformation operators and pushed into
+// serving" — as a replicated tier. A trainer-side Publisher owns the
+// authoritative store and pushes gob-encoded bundles to N replica
+// Servers over HTTP; each replica applies them into a local store and
+// serves the identical read API through the *same* store.Server
+// handlers (shared code, so primary and replicas cannot drift — the
+// e2e test asserts byte-identical responses across all of them).
+//
+// The push protocol is versioned and idempotent. Versions are assigned
+// once by the publisher's store and travel inside the bundle; a replica
+// accepts version watermark+1 (atomically, under its store's write
+// lock, so a racing /predict sees old or new but never half), acks
+// duplicates after verifying the release's canonical digest
+// (internal/core's audit serialization — gob can't serve here because
+// it encodes maps in iteration order), and answers out-of-order pushes
+// with a 409 carrying its applied-version watermark, from which the
+// publisher backfills in order. Late joiners are just the degenerate
+// case: watermark 0, backfill everything (Publisher.Sync). Transport
+// errors retry with exponential backoff; divergent releases (same
+// version, different digest) are permanent errors and never retried —
+// a release can be repeated, never replaced. `sagectl replica` runs a
+// replica; `sagectl serve -push <urls>` publishes through the tier.
+// BENCH_replica.json records push latency and per-replica throughput.
 //
 // The substrate's hot kernels are tuned for the sweeps' scale: Gram
 // accumulation exploits outer-product symmetry (upper triangle +

@@ -1,0 +1,65 @@
+package core
+
+// Canonical provenance serialization. A release's provenance — which
+// pipeline trained, what budget it spent, which stream blocks it read,
+// the validator's verdict, and the DP quality estimate — is the audit
+// record that reconciles a published model against the stream's privacy
+// ledger. When bundles are pushed to serving replicas, every copy must
+// carry provably the same record, so the push protocol identifies a
+// release by a digest over a *canonical* byte serialization defined
+// here. Gob (the shipment encoding) is unsuitable for this: it encodes
+// maps in iteration order, so two encodings of the same bundle differ
+// byte-for-byte. The canonical form is deterministic by construction:
+// length-prefixed strings, IEEE-754 bit patterns for floats, and
+// fixed-width big-endian integers, in a fixed field order.
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/privacy"
+)
+
+// AppendString appends a length-prefixed UTF-8 string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendUint appends a fixed-width big-endian integer.
+func AppendUint(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// AppendFloat appends the IEEE-754 bit pattern of f. Bit patterns, not
+// decimal renderings: two provenance records agree exactly or not at
+// all, with no formatting ambiguity.
+func AppendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendFloats appends a length-prefixed float64 slice.
+func AppendFloats(dst []byte, fs []float64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(fs)))
+	for _, f := range fs {
+		dst = AppendFloat(dst, f)
+	}
+	return dst
+}
+
+// AppendProvenance appends the canonical serialization of one release's
+// provenance fields: pipeline, spent (ε, δ), the block list in ledger
+// order, decision, and quality. Block order is preserved as recorded —
+// the order blocks were read is itself part of the audit trail.
+func AppendProvenance(dst []byte, pipeline string, spent privacy.Budget, blocks []data.BlockID, decision string, quality float64) []byte {
+	dst = AppendString(dst, pipeline)
+	dst = AppendFloat(dst, spent.Epsilon)
+	dst = AppendFloat(dst, spent.Delta)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(blocks)))
+	for _, id := range blocks {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(id))
+	}
+	dst = AppendString(dst, decision)
+	return AppendFloat(dst, quality)
+}

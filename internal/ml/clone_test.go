@@ -1,0 +1,70 @@
+package ml
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestMLPCloneForServing pins the serving-clone contract: clones
+// predict bit-identically to the original, alias its parameters (a
+// clone is a view, not a snapshot), and carry private scratch so
+// concurrent clones do not race.
+func TestMLPCloneForServing(t *testing.T) {
+	m := NewMLP(Regression, 5, []int{7, 3}, rng.New(13))
+	var _ ScratchCloner = m
+
+	clone := m.CloneForServing().(*MLP)
+	rows := make([][]float64, 16)
+	r := rng.New(14)
+	for i := range rows {
+		rows[i] = make([]float64, 5)
+		for j := range rows[i] {
+			rows[i][j] = r.Normal(0, 1)
+		}
+	}
+	for _, x := range rows {
+		if math.Float64bits(m.Predict(x)) != math.Float64bits(clone.Predict(x)) {
+			t.Fatalf("clone diverges from original on %v", x)
+		}
+	}
+	// Parameters are shared: the clone sees updates to the original
+	// (which is why clones are prediction-only).
+	m.Params()[0] += 1
+	x := rows[0]
+	if math.Float64bits(m.Predict(x)) != math.Float64bits(clone.Predict(x)) {
+		t.Error("clone did not see a parameter update: params are copied, not aliased")
+	}
+
+	// Concurrent clones on one original must be race-free (run under
+	// -race) and all agree.
+	want := m.Predict(x)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.CloneForServing()
+			for i := 0; i < 200; i++ {
+				for _, row := range rows {
+					c.Predict(row)
+				}
+				if got := c.Predict(x); math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("concurrent clone predicted %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The classification head clones too.
+	clf := NewMLP(BinaryClassification, 3, []int{4}, rng.New(15))
+	cc := clf.CloneForServing()
+	probe := []float64{0.3, -0.7, 1.1}
+	if math.Float64bits(clf.Predict(probe)) != math.Float64bits(cc.Predict(probe)) {
+		t.Error("classification clone diverges")
+	}
+}

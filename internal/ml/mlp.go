@@ -151,6 +151,26 @@ func (m *MLP) PredictBatch(rows [][]float64, out []float64) {
 // predicted from multiple goroutines at once.
 func (m *MLP) predictUsesSharedScratch() {}
 
+// CloneForServing implements ScratchCloner: the clone aliases the
+// original's parameters (never written on the predict path) and
+// allocates only fresh activation buffers, so a serving tier can keep a
+// pool of clones and run MLP predictions concurrently. The error
+// buffers are shared too — they are only written by Grad, which serving
+// never calls.
+func (m *MLP) CloneForServing() Model {
+	c := &MLP{
+		kind: m.kind, sizes: m.sizes, params: m.params,
+		offsets: m.offsets, errs: m.errs,
+	}
+	c.acts = make([][]float64, len(m.sizes))
+	c.zs = make([][]float64, len(m.sizes))
+	for i, s := range m.sizes {
+		c.acts[i] = make([]float64, s)
+		c.zs[i] = make([]float64, s)
+	}
+	return c
+}
+
 // Grad implements GradModel via backpropagation. For both heads the
 // output delta is (prediction − label): squared loss (halved) with
 // identity output and log loss with sigmoid output share this form.

@@ -65,6 +65,22 @@ type SerialPredictor interface {
 	predictUsesSharedScratch()
 }
 
+// ScratchCloner is the serving escape hatch from SerialPredictor: a
+// model that can produce cheap prediction clones sharing its read-only
+// parameters while owning private scratch. A server holding one such
+// model can hand each connection its own clone (pooled — a clone costs
+// only the scratch buffers, not a parameter copy) and run predictions
+// concurrently instead of serializing every request behind one lock.
+// Clones are for prediction only: training a clone would write through
+// the shared parameter slice.
+type ScratchCloner interface {
+	SerialPredictor
+	// CloneForServing returns a prediction-only clone: shared
+	// parameters, private scratch. Clones predict bit-identically to
+	// the original.
+	CloneForServing() Model
+}
+
 // MSE returns the mean squared error of the model on the dataset
 // (the paper's Taxi regression metric). It returns 0 on empty data.
 func MSE(m Model, ds *data.Dataset) float64 {

@@ -1,0 +1,356 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Publisher is the trainer-side half of the replication protocol: it
+// owns (a reference to) the authoritative store and pushes its releases
+// to a set of replica endpoints. Pushes are idempotent (safe to repeat
+// after any failure), retried with exponential backoff on transport
+// errors, and gap-healing: a replica that is behind — freshly joined,
+// restarted, or recovered from a partition — reports its watermark in a
+// 409 and the publisher backfills the missing versions in order.
+//
+// The publisher tracks a per-replica, per-model applied-version
+// watermark from push acknowledgements, so Sync can tell at a glance
+// which replicas are current. Watermarks are an optimization and a
+// diagnostic, never a correctness input: the replica's own store is the
+// source of truth, and re-pushing something already applied is a no-op
+// by protocol.
+type Publisher struct {
+	src     *store.Store
+	client  *http.Client
+	retries int
+	backoff time.Duration
+
+	mu         sync.Mutex
+	endpoints  []string
+	watermarks map[string]map[string]int // endpoint → name → applied versions
+}
+
+// Option configures a Publisher.
+type Option func(*Publisher)
+
+// WithClient sets the HTTP client used for pushes (default
+// http.DefaultClient; tests inject httptest clients).
+func WithClient(c *http.Client) Option { return func(p *Publisher) { p.client = c } }
+
+// WithRetry sets how many times a failed push is retried per endpoint
+// and the initial backoff, which doubles per attempt. The defaults are
+// 3 retries starting at 100ms.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(p *Publisher) { p.retries, p.backoff = retries, backoff }
+}
+
+// NewPublisher returns a publisher over the authoritative store,
+// pushing to the given replica base URLs (e.g. "http://10.0.0.7:8081").
+func NewPublisher(src *store.Store, endpoints []string, opts ...Option) *Publisher {
+	p := &Publisher{
+		src:        src,
+		client:     http.DefaultClient,
+		retries:    3,
+		backoff:    100 * time.Millisecond,
+		endpoints:  append([]string(nil), endpoints...),
+		watermarks: make(map[string]map[string]int),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// AddEndpoints registers additional replicas (a late join). They serve
+// nothing until the next Push or Sync reaches them.
+func (p *Publisher) AddEndpoints(endpoints ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.endpoints = append(p.endpoints, endpoints...)
+}
+
+// Endpoints returns the registered replica URLs.
+func (p *Publisher) Endpoints() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.endpoints...)
+}
+
+// Watermark returns the last applied version the endpoint acknowledged
+// for name (0 if never pushed).
+func (p *Publisher) Watermark(endpoint, name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.watermarks[endpoint][name]
+}
+
+func (p *Publisher) noteWatermark(endpoint, name string, version int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wm := p.watermarks[endpoint]
+	if wm == nil {
+		wm = make(map[string]int)
+		p.watermarks[endpoint] = wm
+	}
+	if version > wm[name] {
+		wm[name] = version
+	}
+}
+
+// setWatermark overwrites the cached watermark in both directions —
+// used when the replica itself reported it (the replica is the source
+// of truth; a lower report means it lost state).
+func (p *Publisher) setWatermark(endpoint, name string, version int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wm := p.watermarks[endpoint]
+	if wm == nil {
+		wm = make(map[string]int)
+		p.watermarks[endpoint] = wm
+	}
+	wm[name] = version
+}
+
+// Publish publishes the bundle into the authoritative store (assigning
+// the next version, exactly like store.Publish) and pushes it to every
+// replica. The release is durable in the source store even if every
+// push fails — serving replicas converge on the next Push or Sync.
+func (p *Publisher) Publish(b store.Bundle) (int, error) {
+	version := p.src.Publish(b)
+	return version, p.Push(b.Name, version)
+}
+
+// Push ships name@version from the source store to every replica,
+// concurrently. Each replica failure is independent; the joined error
+// reports every endpoint that did not converge.
+func (p *Publisher) Push(name string, version int) error {
+	bundle, ok := p.src.Get(name, version)
+	if !ok {
+		return fmt.Errorf("replica: push %s@v%d: not in source store", name, version)
+	}
+	raw, err := bundle.Encode()
+	if err != nil {
+		return err
+	}
+	endpoints := p.Endpoints()
+	errs := make([]error, len(endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range endpoints {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			errs[i] = p.pushTo(ep, name, version, raw)
+		}(i, ep)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Sync brings every replica up to the source store's current versions —
+// the late-join catch-up path, also usable as a periodic anti-entropy
+// sweep. Each replica's *reported* watermarks (GET /replica/status) are
+// what Sync reconciles against, not the publisher's cached ones: a
+// replica that restarted empty reports 0 and is re-backfilled even
+// though the publisher remembers acking it. When the status fetch
+// fails, Sync falls back to the cached watermarks (the gap protocol
+// corrects any staleness on the first push).
+func (p *Publisher) Sync() error {
+	names := p.src.List() // already sorted
+	var errs []error
+	for _, ep := range p.Endpoints() {
+		applied, err := p.fetchStatus(ep)
+		if err != nil {
+			applied = nil // unknown; fall back to cached watermarks
+		}
+		if err := p.syncEndpoint(ep, names, applied); err != nil {
+			// This replica is unreachable or divergent; move on to the
+			// next endpoint rather than burning retries per name.
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// syncEndpoint pushes one replica everything it is missing, stopping at
+// the first push failure (the endpoint is likely down; its remaining
+// names would each eat a full retry cycle).
+func (p *Publisher) syncEndpoint(ep string, names []string, applied map[string]int) error {
+	for _, name := range names {
+		from := p.Watermark(ep, name)
+		if applied != nil {
+			// The replica's own report overrides the cache in both
+			// directions: higher (another publisher fed it) skips work,
+			// lower (it lost state) forces the re-backfill.
+			from = applied[name]
+			p.setWatermark(ep, name, from)
+		}
+		have := p.src.VersionCount(name)
+		for v := from + 1; v <= have; v++ {
+			bundle, ok := p.src.Get(name, v)
+			if !ok {
+				continue
+			}
+			raw, err := bundle.Encode()
+			if err != nil {
+				return err
+			}
+			if err := p.pushTo(ep, name, v, raw); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fetchStatus reads a replica's applied-version watermarks.
+func (p *Publisher) fetchStatus(endpoint string) (map[string]int, error) {
+	resp, err := p.client.Get(endpoint + "/replica/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: status %s: %d: %s", endpoint, resp.StatusCode, readError(resp.Body))
+	}
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("replica: undecodable status from %s: %w", endpoint, err)
+	}
+	if st.Watermarks == nil {
+		st.Watermarks = map[string]int{}
+	}
+	return st.Watermarks, nil
+}
+
+// pushTo delivers one encoded bundle to one replica, retrying transport
+// errors with exponential backoff and healing version gaps by
+// backfilling from the replica's reported watermark.
+func (p *Publisher) pushTo(endpoint, name string, version int, raw []byte) error {
+	backoff := p.backoff
+	var lastErr error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		st, gap, err := p.pushOnce(endpoint, raw)
+		switch {
+		case gap != nil:
+			// The replica is missing versions ≤ ours: backfill in order
+			// from its watermark, then re-deliver this one. Not a retry —
+			// the gap reply is authoritative, so the attempt counter
+			// resets inside the recursive deliveries.
+			if err := p.backfill(endpoint, name, gap.Watermark, version-1); err != nil {
+				return err
+			}
+			st, gap, err = p.pushOnce(endpoint, raw)
+			switch {
+			case err == nil && gap == nil:
+				p.noteWatermark(endpoint, name, st.Watermark)
+				return nil
+			case gap != nil:
+				// Still behind after a completed backfill: the replica
+				// lost state mid-protocol (or another publisher raced a
+				// divergent history). Let the retry loop start over from
+				// its reported watermark.
+				lastErr = fmt.Errorf("replica: push %s@v%d to %s after backfill: replica still reports watermark %d", name, version, endpoint, gap.Watermark)
+			default:
+				lastErr = fmt.Errorf("replica: push %s@v%d to %s after backfill: %w", name, version, endpoint, err)
+			}
+		case err == nil:
+			p.noteWatermark(endpoint, name, st.Watermark)
+			return nil
+		case isPermanent(err):
+			return fmt.Errorf("replica: push %s@v%d to %s: %w", name, version, endpoint, err)
+		default:
+			lastErr = fmt.Errorf("replica: push %s@v%d to %s: %w", name, version, endpoint, err)
+		}
+	}
+	return lastErr
+}
+
+// backfill pushes versions from..to of name (inclusive) to one
+// endpoint, in order.
+func (p *Publisher) backfill(endpoint, name string, watermark, to int) error {
+	for v := watermark + 1; v <= to; v++ {
+		bundle, ok := p.src.Get(name, v)
+		if !ok {
+			return fmt.Errorf("replica: backfill %s@v%d: not in source store", name, v)
+		}
+		raw, err := bundle.Encode()
+		if err != nil {
+			return err
+		}
+		st, gap, err := p.pushOnce(endpoint, raw)
+		if err != nil {
+			return fmt.Errorf("replica: backfill %s@v%d to %s: %w", name, v, endpoint, err)
+		}
+		if gap != nil {
+			return fmt.Errorf("replica: backfill %s@v%d to %s: replica still reports gap at watermark %d", name, v, endpoint, gap.Watermark)
+		}
+		p.noteWatermark(endpoint, name, st.Watermark)
+	}
+	return nil
+}
+
+// permanentError marks replies that retrying cannot fix (divergent
+// digest, malformed bundle).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+func isPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// pushOnce performs a single POST /push. It returns the decoded status
+// on success, the gap report on a version-gap 409, or an error.
+func (p *Publisher) pushOnce(endpoint string, raw []byte) (PushStatus, *gapResponse, error) {
+	resp, err := p.client.Post(endpoint+"/push", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return PushStatus{}, nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		st, err := decodeStatus(resp.Body)
+		return st, nil, err
+	case http.StatusConflict:
+		// Either a version gap (carries a watermark to resume from) or a
+		// divergent release (permanent).
+		var gap gapResponse
+		if err := json.NewDecoder(resp.Body).Decode(&gap); err != nil {
+			return PushStatus{}, nil, fmt.Errorf("undecodable 409 reply: %w", err)
+		}
+		if gap.Name != "" {
+			return PushStatus{}, &gap, nil
+		}
+		return PushStatus{}, nil, &permanentError{msg: gap.Error}
+	case http.StatusBadRequest:
+		return PushStatus{}, nil, &permanentError{msg: readError(resp.Body)}
+	default:
+		return PushStatus{}, nil, fmt.Errorf("replica returned status %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+}
+
+// readError extracts the "error" field of a JSON error reply, falling
+// back to the raw body.
+func readError(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return body.Error
+	}
+	return string(bytes.TrimSpace(raw))
+}

@@ -1,0 +1,159 @@
+// Package replica implements Sage's replicated serving tier: the last
+// hop of Fig. 1, where accepted models — "bundled with [their] feature
+// transformation operators" — are *pushed into serving*. One
+// trainer-side Publisher owns the authoritative store and pushes
+// encoded bundles to N replica Servers; each replica atomically applies
+// them into a local read-only store and answers the same HTTP API as
+// the single-node server (shared handler code, so the two can never
+// drift).
+//
+// # Push protocol
+//
+// Versions are assigned once, by the publisher's store, and carried
+// inside the bundle. A push is POST /push with the gob-encoded bundle
+// as the body; the replica's reply reports its *applied-version
+// watermark* for that model name — watermark = n always means versions
+// 1..n are applied, because the replica refuses gaps. The protocol is
+// idempotent and self-healing:
+//
+//   - version == watermark+1 → applied, watermark advances.
+//   - version <= watermark → duplicate. The replica verifies the
+//     canonical digest (internal/core's audit serialization) against
+//     the applied release and acks without reapplying; a digest
+//     mismatch is a 409 — a release can never be silently replaced.
+//   - version > watermark+1 → 409 with the watermark, and the
+//     publisher backfills the missing versions in order. This is also
+//     how a replica that joins late catches up: its watermark is 0, so
+//     the first push triggers a backfill from version 1.
+//
+// Replica stores are read-only from the network's point of view: only
+// /push mutates them, and application happens under the store's write
+// lock, so a concurrent /predict sees either the old set of releases or
+// the new one, never a half-applied bundle.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/store"
+)
+
+// maxPushBodyBytes bounds one pushed bundle. Models at the paper's
+// scale (taxi/criteo dims, small MLPs) are a few KB; 64 MiB leaves room
+// for wide released aggregates without letting one connection pin
+// unbounded memory.
+const maxPushBodyBytes = 64 << 20
+
+// PushStatus is a replica's reply to one push (and one entry of the
+// status listing): the applied-version watermark after the push, and
+// whether this delivery changed it.
+type PushStatus struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Applied is true when this delivery advanced the store; false for
+	// an idempotent re-delivery.
+	Applied bool `json:"applied"`
+	// Watermark is the replica's applied version count for Name: all of
+	// versions 1..Watermark are present.
+	Watermark int `json:"watermark"`
+}
+
+// statusResponse is the reply to GET /replica/status.
+type statusResponse struct {
+	// Watermarks maps model name → applied version count.
+	Watermarks map[string]int `json:"watermarks"`
+	Generation uint64         `json:"generation"`
+}
+
+// gapResponse is the 409 body for out-of-order pushes: it carries the
+// watermark so the publisher knows where to resume.
+type gapResponse struct {
+	Error     string `json:"error"`
+	Name      string `json:"name"`
+	Watermark int    `json:"watermark"`
+}
+
+// Server is one serving replica: a local store that only /push can
+// mutate, behind the exact same serving handlers as the single-node
+// tier (store.Server — shared code, not a copy), plus the push and
+// status endpoints of the replication protocol.
+type Server struct {
+	store *store.Store
+	srv   *store.Server
+}
+
+// NewServer returns an empty replica. It serves nothing until a
+// publisher pushes bundles into it.
+func NewServer() *Server {
+	st := store.New()
+	return &Server{store: st, srv: store.NewServer(st)}
+}
+
+// Store exposes the replica's local store (tests and diagnostics; the
+// serving path never hands it out).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Handler returns the replica's HTTP handler: the full single-node
+// serving API plus POST /push and GET /replica/status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /push", s.handlePush)
+	mux.HandleFunc("GET /replica/status", s.handleStatus)
+	mux.Handle("/", s.srv.Handler())
+	return mux
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading bundle: " + err.Error()})
+		return
+	}
+	b, err := store.DecodeBundle(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	applied, err := s.store.Apply(*b)
+	if err != nil {
+		if gap, ok := err.(*store.VersionGapError); ok {
+			writeJSON(w, http.StatusConflict, gapResponse{
+				Error: gap.Error(), Name: gap.Name, Watermark: gap.Watermark,
+			})
+			return
+		}
+		// Digest mismatch (divergent release) or unversioned bundle.
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, PushStatus{
+		Name: b.Name, Version: b.Version,
+		Applied:   applied,
+		Watermark: s.store.VersionCount(b.Name),
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statusResponse{
+		Watermarks: s.store.Watermarks(),
+		Generation: s.store.Generation(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeStatus parses a push reply.
+func decodeStatus(r io.Reader) (PushStatus, error) {
+	var st PushStatus
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return st, fmt.Errorf("replica: undecodable push reply: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,484 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+	"repro/internal/store"
+	"repro/internal/taxi"
+	"repro/internal/validation"
+)
+
+// trainTaxiBundle runs the real Fig. 1 front half at test scale —
+// stream → growing database → access control → privacy-adaptive
+// training → SLAed validation — and returns the accepted release as a
+// publishable bundle. The replicas under test serve an actually-trained
+// model, not a synthetic stub.
+func trainTaxiBundle(tb testing.TB) store.Bundle {
+	tb.Helper()
+	gen := taxi.NewGenerator(taxi.Config{}, 17)
+	rides := gen.Generate(160000, 0, 480)
+	clean, _ := taxi.Clean(rides)
+	speeds := taxi.SpeedByHour(clean, 0, nil)
+
+	db := data.NewGrowingDatabase(data.TimePartitioner{Window: 24})
+	ac := core.NewAccessControl(core.Policy{Global: privacy.MustBudget(1, 1e-6)})
+	for _, ex := range taxi.Featurize(clean, speeds).Examples {
+		for _, id := range db.Insert(ex) {
+			ac.RegisterBlock(id)
+		}
+	}
+	pipe := &pipeline.Pipeline{
+		Name:    "taxi-lr",
+		Trainer: pipeline.AdaSSPTrainer{Rho: 0.1, FeatureBound: 2.5, LabelBound: 1},
+		Validator: pipeline.MSEValidator{
+			Target: 0.016, B: 1,
+			ERMTrainer: pipeline.RidgeTrainer{Lambda: 1e-4},
+		},
+		Mode: validation.ModeSage,
+	}
+	st := &adaptive.StreamTrainer{
+		AC: ac, DB: db, Pipe: pipe,
+		Epsilon0: 0.125, EpsilonCap: 1, Delta: 1e-8,
+		MinWindow: min(10, db.NumBlocks()),
+	}
+	res, err := st.Run(rng.New(3))
+	if err != nil {
+		tb.Fatalf("training: %v", err)
+	}
+	if res.Decision != validation.Accept {
+		tb.Fatalf("training decision %v (quality %v)", res.Decision, res.Quality)
+	}
+	spec, err := store.Serialize(res.Model)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return store.Bundle{
+		Name:     "taxi-lr",
+		Model:    spec,
+		Features: map[string][]float64{"hour_speed": speeds},
+		Provenance: store.Provenance{
+			Pipeline: pipe.Name,
+			Spent:    res.TotalSpent,
+			Blocks:   res.Blocks,
+			Decision: res.Decision.String(),
+			Quality:  res.Quality,
+		},
+	}
+}
+
+// newReplica spins up one in-process replica.
+func newReplica(tb testing.TB) (*Server, *httptest.Server) {
+	tb.Helper()
+	rep := NewServer()
+	srv := httptest.NewServer(rep.Handler())
+	tb.Cleanup(srv.Close)
+	return rep, srv
+}
+
+// fetch returns status code and raw body.
+func fetch(tb testing.TB, method, url, body string) (int, []byte) {
+	tb.Helper()
+	var resp *http.Response
+	var err error
+	switch method {
+	case http.MethodGet:
+		resp, err = http.Get(url)
+	default:
+		resp, err = http.Post(url, "application/json", bytes.NewBufferString(body))
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestReplicatedServingEndToEnd is the tier's acceptance test: train a
+// real model, publish it through a Publisher wired to 3 in-process
+// replicas, and require every replica to answer the full serving API
+// byte-for-byte identically to the primary — predictions, batches,
+// provenance, and feature tables. Then a 4th replica joins late and
+// must catch up to all current versions via Sync.
+func TestReplicatedServingEndToEnd(t *testing.T) {
+	bundle := trainTaxiBundle(t)
+
+	src := store.New()
+	primary := httptest.NewServer(store.NewServer(src).Handler())
+	defer primary.Close()
+
+	var urls []string
+	for i := 0; i < 3; i++ {
+		_, srv := newReplica(t)
+		urls = append(urls, srv.URL)
+	}
+	pub := NewPublisher(src, urls, WithRetry(2, 5*time.Millisecond))
+
+	// Publish v1 (the trained release) and a v2 of the same line — the
+	// push protocol must keep per-name version sequences, not just one.
+	if _, err := pub.Publish(bundle); err != nil {
+		t.Fatalf("publish v1: %v", err)
+	}
+	v2 := bundle
+	v2.Provenance.Quality *= 1.1
+	version, err := pub.Publish(v2)
+	if err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	if version != 2 {
+		t.Fatalf("v2 assigned version %d", version)
+	}
+	for _, ep := range urls {
+		if wm := pub.Watermark(ep, "taxi-lr"); wm != 2 {
+			t.Errorf("watermark(%s) = %d, want 2", ep, wm)
+		}
+	}
+
+	// Byte-identical responses across primary and every replica, for
+	// every read endpoint the single-node API has.
+	row := make([]float64, taxi.FeatureDim)
+	for i := range row {
+		row[i] = 0.01 * float64(i)
+	}
+	rowJSON, _ := json.Marshal(row)
+	requests := []struct {
+		name, method, path, body string
+	}{
+		{"models", "GET", "/models", ""},
+		{"provenance", "GET", "/models/taxi-lr/provenance", ""},
+		{"provenance v1", "GET", "/models/taxi-lr/provenance?version=1", ""},
+		{"features keys", "GET", "/features?model=taxi-lr", ""},
+		{"features table", "GET", "/features?model=taxi-lr&key=hour_speed", ""},
+		{"features index", "GET", "/features?model=taxi-lr&key=hour_speed&index=8", ""},
+		{"predict", "POST", "/predict?model=taxi-lr", fmt.Sprintf(`{"features":%s}`, rowJSON)},
+		{"predict batch", "POST", "/predict/batch?model=taxi-lr", fmt.Sprintf(`{"rows":[%s,%s]}`, rowJSON, rowJSON)},
+		{"predict v1", "POST", "/predict?model=taxi-lr&version=1", fmt.Sprintf(`{"features":%s}`, rowJSON)},
+	}
+	for _, req := range requests {
+		wantCode, want := fetch(t, req.method, primary.URL+req.path, req.body)
+		if wantCode != http.StatusOK {
+			t.Fatalf("%s: primary returned %d: %s", req.name, wantCode, want)
+		}
+		for i, ep := range urls {
+			code, got := fetch(t, req.method, ep+req.path, req.body)
+			if code != http.StatusOK {
+				t.Errorf("%s: replica %d returned %d: %s", req.name, i, code, got)
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s: replica %d response differs from primary:\n  primary: %s\n  replica: %s", req.name, i, want, got)
+			}
+		}
+	}
+
+	// Late join: a fresh replica added after both publishes must catch
+	// up to the current versions through Sync.
+	late, lateSrv := newReplica(t)
+	pub.AddEndpoints(lateSrv.URL)
+	if err := pub.Sync(); err != nil {
+		t.Fatalf("late-join sync: %v", err)
+	}
+	if got := late.Store().VersionCount("taxi-lr"); got != 2 {
+		t.Fatalf("late replica at %d version(s), want 2", got)
+	}
+	for _, req := range requests {
+		_, want := fetch(t, req.method, primary.URL+req.path, req.body)
+		code, got := fetch(t, req.method, lateSrv.URL+req.path, req.body)
+		if code != http.StatusOK || !bytes.Equal(want, got) {
+			t.Errorf("%s: late replica differs (code %d):\n  primary: %s\n  replica: %s", req.name, code, want, got)
+		}
+	}
+
+	// Sync is idempotent: a second run pushes nothing new and changes
+	// nothing.
+	gen := late.Store().Generation()
+	if err := pub.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if late.Store().Generation() != gen {
+		t.Error("idempotent sync mutated the replica store")
+	}
+}
+
+// TestPushGapTriggersBackfill covers the protocol's self-healing: a
+// publisher that pushes only the newest version to a behind replica
+// gets a 409 with the replica's watermark and must backfill the missing
+// versions in order, transparently.
+func TestPushGapTriggersBackfill(t *testing.T) {
+	src := store.New()
+	spec, _ := store.Serialize(&ml.LinearModel{Weights: []float64{1}, Bias: 0})
+	for i := 0; i < 3; i++ {
+		b := store.Bundle{Name: "m", Model: spec}
+		b.Provenance.Quality = float64(i)
+		src.Publish(b)
+	}
+
+	rep, srv := newReplica(t)
+	pub := NewPublisher(src, []string{srv.URL}, WithRetry(1, time.Millisecond))
+	// Push only v3: the replica (watermark 0) must end up with 1..3.
+	if err := pub.Push("m", 3); err != nil {
+		t.Fatalf("push with gap: %v", err)
+	}
+	if got := rep.Store().VersionCount("m"); got != 3 {
+		t.Fatalf("replica has %d version(s), want 3 (backfilled)", got)
+	}
+	for v := 1; v <= 3; v++ {
+		b, ok := rep.Store().Get("m", v)
+		if !ok || b.Provenance.Quality != float64(v-1) {
+			t.Errorf("version %d missing or wrong after backfill: %+v", v, b)
+		}
+	}
+	if wm := pub.Watermark(srv.URL, "m"); wm != 3 {
+		t.Errorf("publisher watermark = %d, want 3", wm)
+	}
+}
+
+// TestPushRetriesTransientErrors pins the retry/backoff path: a replica
+// that fails with 503 twice before recovering must still converge, and
+// a divergent release (409 digest mismatch) must fail immediately with
+// no retries.
+func TestPushRetriesTransientErrors(t *testing.T) {
+	rep := NewServer()
+	inner := rep.Handler()
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "replica warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	src := store.New()
+	spec, _ := store.Serialize(&ml.LinearModel{Weights: []float64{2}, Bias: 1})
+	src.Publish(store.Bundle{Name: "m", Model: spec})
+
+	pub := NewPublisher(src, []string{flaky.URL}, WithRetry(3, time.Millisecond))
+	if err := pub.Push("m", 1); err != nil {
+		t.Fatalf("push through flaky replica: %v", err)
+	}
+	if got := rep.Store().VersionCount("m"); got != 1 {
+		t.Fatalf("replica store has %d versions, want 1", got)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("push took %d attempts, want 3 (two 503s then success)", calls.Load())
+	}
+
+	// Exhausted retries surface as an error.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	pubDead := NewPublisher(src, []string{dead.URL}, WithRetry(1, time.Millisecond))
+	if err := pubDead.Push("m", 1); err == nil {
+		t.Error("push to permanently-down replica reported success")
+	}
+
+	// Divergence is permanent: same (name, version), different content
+	// must be rejected without retrying.
+	var divergeCalls atomic.Int32
+	countingRep := NewServer()
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		divergeCalls.Add(1)
+		countingRep.Handler().ServeHTTP(w, r)
+	}))
+	defer counting.Close()
+	if _, err := countingRep.Store().Apply(func() store.Bundle {
+		other, _ := store.Serialize(&ml.LinearModel{Weights: []float64{9}, Bias: 9})
+		return store.Bundle{Name: "m", Version: 1, Model: other}
+	}()); err != nil {
+		t.Fatal(err)
+	}
+	divergeCalls.Store(0)
+	pubDiv := NewPublisher(src, []string{counting.URL}, WithRetry(5, time.Millisecond))
+	if err := pubDiv.Push("m", 1); err == nil {
+		t.Fatal("divergent push reported success")
+	}
+	if divergeCalls.Load() != 1 {
+		t.Errorf("divergent push attempted %d times, want 1 (permanent errors must not retry)", divergeCalls.Load())
+	}
+}
+
+// TestPushRacesPredict hammers a replica's /predict/batch while the
+// publisher pushes new versions into it. Every response must be
+// well-formed and consistent with exactly one published version —
+// atomic swap means no request ever observes a half-applied bundle.
+// Run under -race, this also checks the store/cache synchronization.
+func TestPushRacesPredict(t *testing.T) {
+	src := store.New()
+	// Version v predicts exactly float64(v) for the zero row: bias = v,
+	// so a response's prediction identifies the version that served it.
+	mkSpec := func(v int) store.ModelSpec {
+		spec, _ := store.Serialize(&ml.LinearModel{Weights: []float64{1, 1}, Bias: float64(v)})
+		return spec
+	}
+	src.Publish(store.Bundle{Name: "m", Model: mkSpec(1)})
+
+	rep, srv := newReplica(t)
+	pub := NewPublisher(src, []string{srv.URL}, WithRetry(2, time.Millisecond))
+	if err := pub.Push("m", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const versions = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := srv.Client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(srv.URL+"/predict/batch?model=m", "application/json",
+					bytes.NewBufferString(`{"rows":[[0,0],[0,0]]}`))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				var body struct {
+					Version     int        `json:"version"`
+					Predictions []*float64 `json:"predictions"`
+				}
+				if err := json.Unmarshal(raw, &body); err != nil {
+					errCh <- fmt.Errorf("undecodable predict response %q: %w", raw, err)
+					return
+				}
+				if body.Version < 1 || body.Version > versions {
+					errCh <- fmt.Errorf("response names version %d, outside published range", body.Version)
+					return
+				}
+				for _, p := range body.Predictions {
+					if p == nil || *p != float64(body.Version) {
+						errCh <- fmt.Errorf("version %d answered prediction %v: torn read", body.Version, p)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for v := 2; v <= versions; v++ {
+		src.Publish(store.Bundle{Name: "m", Model: mkSpec(v)})
+		if err := pub.Push("m", v); err != nil {
+			t.Fatalf("push v%d during predicts: %v", v, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if got := rep.Store().VersionCount("m"); got != versions {
+		t.Fatalf("replica converged at %d versions, want %d", got, versions)
+	}
+}
+
+// TestSyncHealsRestartedReplica pins Sync's anti-entropy contract: it
+// reconciles against the replica's *reported* watermarks, not the
+// publisher's cache, so a replica that restarted empty (same endpoint,
+// lost state) is re-backfilled even though the publisher remembers
+// acking every version.
+func TestSyncHealsRestartedReplica(t *testing.T) {
+	src := store.New()
+	spec, _ := store.Serialize(&ml.LinearModel{Weights: []float64{1}, Bias: 0})
+	src.Publish(store.Bundle{Name: "m", Model: spec})
+	src.Publish(store.Bundle{Name: "m", Model: spec})
+
+	// The endpoint survives the "restart"; the replica behind it does
+	// not.
+	var current atomic.Value
+	first := NewServer()
+	current.Store(first.Handler())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	pub := NewPublisher(src, []string{srv.URL}, WithRetry(1, time.Millisecond))
+	if err := pub.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Store().VersionCount("m"); got != 2 {
+		t.Fatalf("first replica at %d versions, want 2", got)
+	}
+
+	// Restart: fresh empty store behind the same URL. The cached
+	// watermark still says 2.
+	reborn := NewServer()
+	current.Store(reborn.Handler())
+	if wm := pub.Watermark(srv.URL, "m"); wm != 2 {
+		t.Fatalf("precondition: cached watermark %d, want 2", wm)
+	}
+	if err := pub.Sync(); err != nil {
+		t.Fatalf("sync after restart: %v", err)
+	}
+	if got := reborn.Store().VersionCount("m"); got != 2 {
+		t.Errorf("restarted replica at %d versions after Sync, want 2 (must heal from reported watermark, not cache)", got)
+	}
+}
+
+// TestReplicaStatusEndpoint covers the operator view: watermarks per
+// model and the store generation.
+func TestReplicaStatusEndpoint(t *testing.T) {
+	src := store.New()
+	spec, _ := store.Serialize(&ml.LinearModel{Weights: []float64{1}, Bias: 0})
+	src.Publish(store.Bundle{Name: "a", Model: spec})
+	src.Publish(store.Bundle{Name: "a", Model: spec})
+	src.Publish(store.Bundle{Name: "b", Model: spec})
+
+	_, srv := newReplica(t)
+	pub := NewPublisher(src, []string{srv.URL}, WithRetry(1, time.Millisecond))
+	if err := pub.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	code, raw := fetch(t, "GET", srv.URL+"/replica/status", "")
+	if code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	var st struct {
+		Watermarks map[string]int `json:"watermarks"`
+		Generation uint64         `json:"generation"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Watermarks["a"] != 2 || st.Watermarks["b"] != 1 {
+		t.Errorf("watermarks = %v, want a:2 b:1", st.Watermarks)
+	}
+	if st.Generation != 3 {
+		t.Errorf("generation = %d, want 3 (one per applied bundle)", st.Generation)
+	}
+}

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -48,6 +50,65 @@ type Server struct {
 	store *Store
 	mu    sync.Mutex
 	cache map[modelKey]*cachedModel
+	enc   encodedCache
+}
+
+// encodedCache holds pre-encoded JSON response bodies for the immutable
+// read endpoints (model list, provenance, whole feature tables). Store
+// contents only change on publish, so a response encoded at store
+// generation g can be replayed byte-for-byte until the generation
+// advances; the first request after a publish flushes the cache
+// wholesale. This removes the per-request encode (and its allocations)
+// from the hottest read paths — the connection-level fast path replicas
+// rely on when every node answers the same provenance audit queries.
+type encodedCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string][]byte
+}
+
+// preEncoded returns the cached response body for key, building and
+// encoding it with build() on miss.
+func (s *Server) preEncoded(key string, build func() any) ([]byte, error) {
+	gen := s.store.Generation()
+	s.enc.mu.Lock()
+	if s.enc.gen != gen || s.enc.entries == nil {
+		s.enc.gen = gen
+		s.enc.entries = make(map[string][]byte)
+	}
+	if raw, ok := s.enc.entries[key]; ok {
+		s.enc.mu.Unlock()
+		return raw, nil
+	}
+	s.enc.mu.Unlock()
+
+	// Build and encode outside the lock; a concurrent publish is
+	// harmless (the entry is only stored while the generation still
+	// matches, and the next request flushes it anyway).
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(build()); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+	s.enc.mu.Lock()
+	if s.enc.gen == gen && s.enc.entries != nil {
+		s.enc.entries[key] = raw
+	}
+	s.enc.mu.Unlock()
+	return raw, nil
+}
+
+// writePreEncoded serves one immutable endpoint through the encoded
+// cache.
+func (s *Server) writePreEncoded(w http.ResponseWriter, key string, build func() any) {
+	raw, err := s.preEncoded(key, build)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
 }
 
 // modelKey identifies one cached model instantiation.
@@ -56,33 +117,46 @@ type modelKey struct {
 	version int
 }
 
-// cachedModel is one live model. predictMu is non-nil for models whose
-// Predict mutates shared scratch (ml.SerialPredictor): those are safe to
-// cache and share, but calls into them must be serialized. Stateless
-// models carry a nil mutex and run concurrently.
+// cachedModel is one live model. Scratch-sharing models
+// (ml.SerialPredictor) get one of two concurrency strategies: models
+// that can clone their scratch (ml.ScratchCloner, the MLP) carry a pool
+// of serving clones so concurrent connections predict in parallel on
+// shared parameters; the rest fall back to a per-instance lock.
+// Stateless models carry neither and run concurrently as-is.
 type cachedModel struct {
 	model     ml.Model
 	predictMu *sync.Mutex
+	clones    *sync.Pool
 }
 
-// predict evaluates one row, serializing if the model requires it.
+// acquire returns a model safe to predict with on this goroutine and a
+// release function (both nil-safe no-ops for stateless models).
+func (c *cachedModel) acquire() (ml.Model, func()) {
+	if c.clones != nil {
+		m := c.clones.Get().(ml.Model)
+		return m, func() { c.clones.Put(m) }
+	}
+	if c.predictMu != nil {
+		c.predictMu.Lock()
+		return c.model, c.predictMu.Unlock
+	}
+	return c.model, func() {}
+}
+
+// predict evaluates one row.
 func (c *cachedModel) predict(x []float64) float64 {
-	if c.predictMu != nil {
-		c.predictMu.Lock()
-		defer c.predictMu.Unlock()
-	}
-	return c.model.Predict(x)
+	m, release := c.acquire()
+	defer release()
+	return m.Predict(x)
 }
 
-// predictBatch evaluates all rows through the model's batched fast path,
-// taking the serialization lock once for the whole batch — this is the
-// lock-amortization /predict/batch exists for.
+// predictBatch evaluates all rows through the model's batched fast
+// path, acquiring the clone (or the serialization lock) once for the
+// whole batch — this is the amortization /predict/batch exists for.
 func (c *cachedModel) predictBatch(rows [][]float64, out []float64) {
-	if c.predictMu != nil {
-		c.predictMu.Lock()
-		defer c.predictMu.Unlock()
-	}
-	ml.PredictBatch(c.model, rows, out)
+	m, release := c.acquire()
+	defer release()
+	ml.PredictBatch(m, rows, out)
 }
 
 // NewServer returns a server over the store.
@@ -111,20 +185,22 @@ type modelInfo struct {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	names := s.store.List()
-	// Non-nil so an empty store serializes as [], not JSON null.
-	out := make([]modelInfo, 0, len(names))
-	for _, name := range names {
-		if b, ok := s.store.Latest(name); ok {
-			out = append(out, modelInfo{
-				Name: b.Name, Version: b.Version,
-				Pipeline: b.Provenance.Pipeline,
-				Quality:  b.Provenance.Quality,
-				Epsilon:  b.Provenance.Spent.Epsilon,
-			})
+	s.writePreEncoded(w, "models", func() any {
+		names := s.store.List()
+		// Non-nil so an empty store serializes as [], not JSON null.
+		out := make([]modelInfo, 0, len(names))
+		for _, name := range names {
+			if b, ok := s.store.Latest(name); ok {
+				out = append(out, modelInfo{
+					Name: b.Name, Version: b.Version,
+					Pipeline: b.Provenance.Pipeline,
+					Quality:  b.Provenance.Quality,
+					Epsilon:  b.Provenance.Spent.Epsilon,
+				})
+			}
 		}
-	}
-	writeJSON(w, http.StatusOK, out)
+		return out
+	})
 }
 
 // provenanceResponse is the audit view of one released bundle: enough to
@@ -149,20 +225,25 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	blocks := bundle.Provenance.Blocks
-	if blocks == nil {
-		blocks = []data.BlockID{}
-	}
-	writeJSON(w, http.StatusOK, provenanceResponse{
-		Model:        bundle.Name,
-		Version:      bundle.Version,
-		Pipeline:     bundle.Provenance.Pipeline,
-		Epsilon:      bundle.Provenance.Spent.Epsilon,
-		Delta:        bundle.Provenance.Spent.Delta,
-		Blocks:       blocks,
-		Decision:     bundle.Provenance.Decision,
-		Quality:      bundle.Provenance.Quality,
-		TotalEpsilon: s.store.TotalSpent(bundle.Name).Epsilon,
+	// Cached by (name, version): the bundle itself is immutable, and the
+	// one mutable field (TotalEpsilon, which grows as later versions of
+	// the name publish) is covered by the generation flush.
+	s.writePreEncoded(w, "prov/"+bundle.Name+"/"+strconv.Itoa(bundle.Version), func() any {
+		blocks := bundle.Provenance.Blocks
+		if blocks == nil {
+			blocks = []data.BlockID{}
+		}
+		return provenanceResponse{
+			Model:        bundle.Name,
+			Version:      bundle.Version,
+			Pipeline:     bundle.Provenance.Pipeline,
+			Epsilon:      bundle.Provenance.Spent.Epsilon,
+			Delta:        bundle.Provenance.Spent.Delta,
+			Blocks:       blocks,
+			Decision:     bundle.Provenance.Decision,
+			Quality:      bundle.Provenance.Quality,
+			TotalEpsilon: s.store.TotalSpent(bundle.Name).Epsilon,
+		}
 	})
 }
 
@@ -241,6 +322,95 @@ type batchRequest struct {
 	Rows [][]float64 `json:"rows"`
 }
 
+// batchScratch is the pooled per-request working set of the batch path:
+// decoded row buffers, the valid/position split, the prediction outputs
+// (the response's pointers alias out directly), and the response encode
+// buffer. One warm /predict/batch request touches none of these
+// allocations — everything is reused from the pool, sized by the
+// largest batch the connection has seen.
+type batchScratch struct {
+	rows      [][]float64
+	valid     [][]float64
+	positions []int
+	out       []float64
+	preds     []*float64
+	buf       bytes.Buffer
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// errTooManyRows aborts the streaming decode as soon as the row limit
+// is crossed, without materializing the rest of the body.
+var errTooManyRows = fmt.Errorf("batch exceeds the %d-row limit", maxBatchRows)
+
+// decodeBatchRows streams the request body's rows array through dec,
+// reusing the scratch row buffers from previous requests. Unlike a
+// one-shot unmarshal of batchRequest, this never holds more than one
+// row of undecoded JSON beyond the rows themselves, and it stops
+// reading the moment the row limit is exceeded — combined with the
+// http.MaxBytesReader wrapping, a hostile large body costs at most
+// maxBatchBodyBytes of reading and maxBatchRows of decoding.
+func decodeBatchRows(dec *json.Decoder, scratch [][]float64) ([][]float64, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return scratch, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return scratch, errors.New("request body must be a JSON object")
+	}
+	rows := scratch[:0]
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return rows, err
+		}
+		if key, _ := keyTok.(string); key != "rows" {
+			// Skip unknown fields for forward compatibility.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return rows, err
+			}
+			continue
+		}
+		tok, err := dec.Token()
+		if err != nil {
+			return rows, err
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '[' {
+			return rows, errors.New(`"rows" must be an array of feature vectors`)
+		}
+		for dec.More() {
+			if len(rows) >= maxBatchRows {
+				return rows, errTooManyRows
+			}
+			var row []float64
+			if len(rows) < len(scratch) {
+				row = scratch[len(rows)][:0] // reuse the pooled backing array
+			}
+			if err := dec.Decode(&row); err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+		if _, err := dec.Token(); err != nil { // closing ]
+			return rows, err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing }
+		return rows, err
+	}
+	return rows, nil
+}
+
+// grow returns s resized to n entries, reusing its backing array when
+// the capacity allows.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // rowError reports one invalid row by its position in the request.
 type rowError struct {
 	Row   int    `json:"row"`
@@ -268,18 +438,23 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req batchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+	// All per-request buffers come from the pool and go back when the
+	// handler returns — by then the response (whose prediction pointers
+	// alias sc.out) has been fully encoded into sc.buf and written.
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	rows, err := decodeBatchRows(dec, sc.rows)
+	if len(rows) > len(sc.rows) {
+		sc.rows = rows // keep grown row buffers for the next request
+	}
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
-	if len(req.Rows) == 0 {
+	if len(rows) == 0 {
 		httpError(w, http.StatusBadRequest, "empty batch: rows must contain at least one feature vector")
-		return
-	}
-	if len(req.Rows) > maxBatchRows {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf(
-			"batch of %d rows exceeds the %d-row limit", len(req.Rows), maxBatchRows))
 		return
 	}
 	model, err := s.model(bundle)
@@ -288,16 +463,20 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sc.preds = grow(sc.preds, len(rows))
+	for i := range sc.preds {
+		sc.preds[i] = nil
+	}
 	resp := batchResponse{
 		Model: bundle.Name, Version: bundle.Version,
-		Predictions: make([]*float64, len(req.Rows)),
+		Predictions: sc.preds,
 	}
 	// Split valid from malformed rows, keeping each valid row's original
 	// position so predictions land back where the caller expects them.
 	want := bundle.Model.InputDim()
-	valid := make([][]float64, 0, len(req.Rows))
-	positions := make([]int, 0, len(req.Rows))
-	for i, row := range req.Rows {
+	sc.valid = sc.valid[:0]
+	sc.positions = sc.positions[:0]
+	for i, row := range rows {
 		if want > 0 && len(row) != want {
 			resp.Errors = append(resp.Errors, rowError{
 				Row:   i,
@@ -305,18 +484,24 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			})
 			continue
 		}
-		valid = append(valid, row)
-		positions = append(positions, i)
+		sc.valid = append(sc.valid, row)
+		sc.positions = append(sc.positions, i)
 	}
-	if len(valid) > 0 {
-		out := make([]float64, len(valid))
-		model.predictBatch(valid, out)
-		for j, i := range positions {
-			v := out[j]
-			resp.Predictions[i] = &v
+	if len(sc.valid) > 0 {
+		sc.out = grow(sc.out, len(sc.valid))
+		model.predictBatch(sc.valid, sc.out)
+		for j, i := range sc.positions {
+			resp.Predictions[i] = &sc.out[j]
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.buf.Reset()
+	if err := json.NewEncoder(&sc.buf).Encode(resp); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.buf.Bytes())
 }
 
 // featuresResponse is the reply to GET /features. Exactly one of Keys,
@@ -366,10 +551,15 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Key = key
 	if !q.Has("index") {
-		// Bundles are immutable once published (Publish deep-copies), so
-		// handing the slice to the JSON encoder is safe.
-		resp.Values = table
-		writeJSON(w, http.StatusOK, resp)
+		// Whole-table responses are the big immutable payloads (Listing
+		// 1's 24-entry table is the small case; released aggregates can
+		// be arbitrarily wide), so they are served pre-encoded. Bundles
+		// are immutable once published (Publish deep-copies), so handing
+		// the slice to the JSON encoder is safe.
+		s.writePreEncoded(w, "feat/"+bundle.Name+"/"+strconv.Itoa(bundle.Version)+"/"+key, func() any {
+			resp.Values = table
+			return resp
+		})
 		return
 	}
 	idx, err := strconv.Atoi(q.Get("index"))
@@ -404,7 +594,9 @@ func (s *Server) model(b *Bundle) (*cachedModel, error) {
 		return nil, err
 	}
 	cm := &cachedModel{model: m}
-	if _, serial := m.(ml.SerialPredictor); serial {
+	if cloner, ok := m.(ml.ScratchCloner); ok {
+		cm.clones = &sync.Pool{New: func() any { return cloner.CloneForServing() }}
+	} else if _, serial := m.(ml.SerialPredictor); serial {
 		cm.predictMu = &sync.Mutex{}
 	}
 	// A request that read Latest before a concurrent publish may arrive

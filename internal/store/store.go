@@ -13,11 +13,13 @@ package store
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/ml"
 	"repro/internal/privacy"
@@ -173,11 +175,45 @@ func DecodeBundle(raw []byte) (*Bundle, error) {
 	return &b, nil
 }
 
+// Digest returns a content digest over the bundle's canonical
+// serialization (internal/core's audit encoding: fixed field order,
+// sorted feature keys, IEEE-754 bit patterns). The gob wire encoding
+// cannot serve this role — it walks the feature map in iteration order,
+// so re-encoding the same bundle yields different bytes. Replica push
+// uses the digest for idempotency: a re-push of an already-applied
+// (name, version) is accepted iff the digests match, so a divergent
+// bundle can never silently overwrite a release.
+func (b *Bundle) Digest() [sha256.Size]byte {
+	buf := core.AppendString(nil, b.Name)
+	buf = core.AppendUint(buf, uint64(b.Version))
+	buf = core.AppendString(buf, b.Model.Kind)
+	buf = core.AppendFloats(buf, b.Model.Weights)
+	buf = core.AppendFloat(buf, b.Model.Bias)
+	buf = core.AppendUint(buf, uint64(b.Model.Dim))
+	buf = core.AppendUint(buf, uint64(len(b.Model.Hidden)))
+	for _, h := range b.Model.Hidden {
+		buf = core.AppendUint(buf, uint64(h))
+	}
+	buf = core.AppendFloats(buf, b.Model.Params)
+	for _, k := range b.FeatureKeys() {
+		buf = core.AppendString(buf, k)
+		buf = core.AppendFloats(buf, b.Features[k])
+	}
+	p := b.Provenance
+	buf = core.AppendProvenance(buf, p.Pipeline, p.Spent, p.Blocks, p.Decision, p.Quality)
+	return sha256.Sum256(buf)
+}
+
 // Store is the in-memory wide-access model & feature store. It is safe
 // for concurrent use.
 type Store struct {
 	mu      sync.RWMutex
 	bundles map[string][]*Bundle // name → versions (ascending)
+	// gen counts mutations. Serving caches key their pre-encoded
+	// responses on it: a response computed at generation g is valid
+	// until the store changes, at which point g stops matching and the
+	// entry is rebuilt on next use.
+	gen uint64
 }
 
 // New returns an empty store.
@@ -215,7 +251,89 @@ func (s *Store) Publish(b Bundle) int {
 	versions := s.bundles[b.Name]
 	stored.Version = len(versions) + 1
 	s.bundles[b.Name] = append(versions, stored)
+	s.gen++
 	return stored.Version
+}
+
+// Generation returns a counter that advances on every store mutation
+// (Publish or Apply). Anything derived from store contents — the
+// serving layer's pre-encoded responses — caches against it and
+// invalidates on mismatch.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// VersionCount returns how many versions of name are published — the
+// store's applied-version watermark for the replica push protocol.
+func (s *Store) VersionCount(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bundles[name])
+}
+
+// VersionGapError reports an Apply whose bundle version would leave a
+// hole in the version sequence. It carries the receiver's current
+// watermark so the pusher knows where to resume.
+type VersionGapError struct {
+	Name      string
+	Version   int // the version that was offered
+	Watermark int // versions currently applied
+}
+
+func (e *VersionGapError) Error() string {
+	return fmt.Sprintf("store: bundle %s@v%d leaves a gap: %d version(s) applied", e.Name, e.Version, e.Watermark)
+}
+
+// Apply inserts a bundle at its *declared* version — the receiving half
+// of the replica push protocol, where versions are assigned by the
+// publisher's store and must survive re-delivery. Semantics:
+//
+//   - Version == watermark+1: the bundle is appended (deep-copied, like
+//     Publish) and Apply reports applied=true.
+//   - Version <= watermark: idempotent re-push. Apply verifies the
+//     offered bundle's digest against the applied one and reports
+//     applied=false; a digest mismatch is an error — a release can
+//     never be silently replaced.
+//   - Version > watermark+1: *VersionGapError. The store refuses holes
+//     so that "watermark = n" always means versions 1..n are present.
+//
+// A version of 0 (a bundle that never went through Publish) is
+// rejected.
+func (s *Store) Apply(b Bundle) (applied bool, err error) {
+	if b.Version < 1 {
+		return false, fmt.Errorf("store: apply %s: bundle has no version (got %d)", b.Name, b.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions := s.bundles[b.Name]
+	switch {
+	case b.Version <= len(versions):
+		existing := versions[b.Version-1]
+		if existing.Digest() != b.Digest() {
+			return false, fmt.Errorf("store: apply %s@v%d: digest mismatch with already-applied release", b.Name, b.Version)
+		}
+		return false, nil
+	case b.Version == len(versions)+1:
+		s.bundles[b.Name] = append(versions, b.deepCopy())
+		s.gen++
+		return true, nil
+	default:
+		return false, &VersionGapError{Name: b.Name, Version: b.Version, Watermark: len(versions)}
+	}
+}
+
+// Watermarks returns every name's applied version count, sorted by
+// name — the replica status a publisher reconciles against.
+func (s *Store) Watermarks() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int, len(s.bundles))
+	for name, versions := range s.bundles {
+		out[name] = len(versions)
+	}
+	return out
 }
 
 // FeatureKeys returns the bundle's released aggregate table names,
