@@ -9,8 +9,9 @@
 // Usage:
 //
 //	sagectl [ledger] [-epsg 1.0] [-delta 1e-6] [-days 30] [-pipelines 3] [-user-blocks]
-//	sagectl serve [-addr :8080] [-feature-eps 0.1] [-push http://r1:8081,http://r2:8081] [ledger flags]
-//	sagectl replica [-addr :8081]
+//	sagectl serve [-addr :8080] [-feature-eps 0.1] [-push http://r1:8081,http://r2:8081] [-push-token T] [ledger flags]
+//	sagectl replica [-addr :8081] [-push-token T]
+//	sagectl daemon [-wal ./sage-wal] [-addr :8080] [-tick 1s] [-retention N] [-push ...] [-push-token T]
 //
 // In serve mode, accepted pipelines are published as bundles — model,
 // the DP per-hour speed table (Listing 1's aggregate feature), and
@@ -23,23 +24,42 @@
 //	GET  /features?model=<name>&key=hour_speed[&index=H]   serving-time join
 //
 // With -push, every accepted bundle is additionally pushed to the given
-// replica endpoints (versioned idempotent push with retry/backoff and
-// gap backfill; see internal/replica). Replicas are started with
-// `sagectl replica`: they serve the identical read API plus
+// replica endpoints (versioned idempotent push with retry/backoff, gap
+// backfill, gzip bodies, and optional -push-token bearer auth; see
+// internal/replica). Replicas are started with `sagectl replica`: they
+// serve the identical read API plus
 //
 //	POST /push              receive one encoded bundle (publisher-only)
 //	GET  /replica/status    applied-version watermarks per model
+//
+// Daemon mode is the platform as the paper operates it: a continuous
+// loop (internal/daemon) that ingests stream blocks, trains when budget
+// allows, publishes, pushes to replicas, and retires blocks by
+// retention — with every ledger and store mutation write-ahead-logged
+// under -wal. Kill it at any instant and relaunch with the same -wal
+// directory: it resumes at the same block/version watermarks, and the
+// replica tier self-heals. SIGTERM/SIGINT drain gracefully (finish the
+// iteration, final replica sync, compact, close). Besides the serving
+// API, daemon mode exposes GET /daemon/status (ledger, store, and
+// replica watermarks as JSON).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/data"
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
@@ -50,25 +70,41 @@ import (
 	"repro/internal/validation"
 )
 
-// options carries the flags shared by both subcommands.
+// options carries the flags shared by the subcommands.
 type options struct {
 	epsG       float64
 	delta      float64
 	days       int
 	nPipelines int
 	userBlocks bool
-	// serve/replica-only.
+	// serve/replica/daemon.
 	addr       string
 	featureEps float64
 	push       string
+	pushToken  string
+	// daemon-only.
+	walDir       string
+	tick         time.Duration
+	rowsPerBlock int
+	retention    int
+	maxTicks     int
+	compactEvery int
+	sla          string
+	seed         uint64
+	eps0         float64
+	epsCap       float64
+	noSync       bool
 }
 
 func main() {
 	args := os.Args[1:]
 	mode := "ledger"
-	if len(args) > 0 && (args[0] == "ledger" || args[0] == "serve" || args[0] == "replica") {
-		mode = args[0]
-		args = args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "ledger", "serve", "replica", "daemon":
+			mode = args[0]
+			args = args[1:]
+		}
 	}
 
 	fs := flag.NewFlagSet("sagectl "+mode, flag.ExitOnError)
@@ -83,8 +119,26 @@ func main() {
 		fs.StringVar(&opt.addr, "addr", ":8080", "HTTP listen address for the serving API")
 		fs.Float64Var(&opt.featureEps, "feature-eps", 0.2, "ε spent releasing the per-hour speed aggregate (Listing 1)")
 		fs.StringVar(&opt.push, "push", "", "comma-separated replica base URLs to push accepted bundles to")
+		fs.StringVar(&opt.pushToken, "push-token", "", "bearer token sent with every push (replicas started with the same -push-token)")
 	case "replica":
 		fs.StringVar(&opt.addr, "addr", ":8081", "HTTP listen address for this replica")
+		fs.StringVar(&opt.pushToken, "push-token", "", "require this bearer token on POST /push (empty = open)")
+	case "daemon":
+		fs.StringVar(&opt.addr, "addr", ":8080", "HTTP listen address (serving API + /daemon/status)")
+		fs.StringVar(&opt.walDir, "wal", "./sage-wal", "write-ahead-log directory (all durable state; reuse it to resume)")
+		fs.DurationVar(&opt.tick, "tick", time.Second, "loop period: one stream block + one training attempt per tick")
+		fs.IntVar(&opt.rowsPerBlock, "rows-per-block", 4000, "synthetic stream rate (rides per block)")
+		fs.Float64Var(&opt.featureEps, "feature-eps", 0.05, "ε charged per block for the hour_speed aggregate release")
+		fs.IntVar(&opt.retention, "retention", 0, "keep only the newest N blocks; older ones are retired and their raw data deleted (0 = no age-based retirement)")
+		fs.IntVar(&opt.maxTicks, "max-ticks", 0, "stop after N ticks (0 = run until SIGTERM)")
+		fs.IntVar(&opt.compactEvery, "compact-every", 64, "compact the WALs every N ticks")
+		fs.StringVar(&opt.sla, "sla", "", "comma-separated per-pipeline MSE targets (default paper-scale serve targets)")
+		fs.Uint64Var(&opt.seed, "seed", 17, "stream/training seed (per-block data derives from it, so restarts regenerate identical blocks)")
+		fs.Float64Var(&opt.eps0, "eps0", 0, "adaptive search starting ε (default εg/8)")
+		fs.Float64Var(&opt.epsCap, "eps-cap", 0, "adaptive search per-attempt ε cap (default εg/2)")
+		fs.StringVar(&opt.push, "push", "", "comma-separated replica base URLs to push accepted bundles to")
+		fs.StringVar(&opt.pushToken, "push-token", "", "bearer token sent with every push")
+		fs.BoolVar(&opt.noSync, "no-sync", false, "disable per-append fsync (tests only: crash durability drops to what the OS flushed)")
 	}
 	_ = fs.Parse(args)
 
@@ -107,6 +161,8 @@ func main() {
 	switch mode {
 	case "serve":
 		err = runServe(opt, budget)
+	case "daemon":
+		err = runDaemon(opt, budget)
 	default:
 		err = runLedger(opt, budget)
 	}
@@ -114,6 +170,99 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// parseTargets parses the -sla list.
+func parseTargets(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sagectl: bad -sla entry %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runDaemon runs the continuous platform loop until SIGTERM/SIGINT
+// (graceful drain) or -max-ticks.
+func runDaemon(opt options, budget privacy.Budget) error {
+	targets, err := parseTargets(opt.sla)
+	if err != nil {
+		return err
+	}
+	cfg := daemon.Config{
+		Dir:           opt.walDir,
+		Global:        budget,
+		Tick:          opt.tick,
+		RowsPerBlock:  opt.rowsPerBlock,
+		Pipelines:     opt.nPipelines,
+		SLATargets:    targets,
+		FeatureEps:    opt.featureEps,
+		Epsilon0:      opt.eps0,
+		EpsilonCap:    opt.epsCap,
+		Retention:     opt.retention,
+		Seed:          opt.seed,
+		MaxTicks:      opt.maxTicks,
+		CompactEvery:  opt.compactEvery,
+		NoSync:        opt.noSync,
+		PushEndpoints: splitEndpoints(opt.push),
+		PushToken:     opt.pushToken,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	d, stats, err := daemon.New(cfg)
+	if err != nil {
+		return err
+	}
+	if stats.Ledger.Records > 0 || stats.Store.Records > 0 {
+		fmt.Printf("daemon: recovered WAL (%d ledger records, %d store records", stats.Ledger.Records, stats.Store.Records)
+		if stats.Ledger.Truncated || stats.Store.Truncated {
+			fmt.Printf("; torn tail truncated: %dB ledger, %dB store",
+				stats.Ledger.TornBytes, stats.Store.TornBytes)
+		}
+		fmt.Println(")")
+	}
+
+	lis, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	// The e2e harness parses this line to find the bound port.
+	fmt.Printf("daemon: serving on %s (wal %s)\n", lis.Addr(), opt.walDir)
+	srv := &http.Server{Handler: d.Handler()}
+	go func() { _ = srv.Serve(lis) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runErr := d.Run(ctx)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if runErr == nil {
+		fmt.Println("daemon: drained cleanly")
+	}
+	return runErr
+}
+
+// splitEndpoints parses the -push list.
+func splitEndpoints(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // ledgerTargets are deliberately aggressive MSE targets: the ledger
@@ -216,7 +365,12 @@ func runReplica(opt options) error {
 	fmt.Printf("replica on %s — push bundles with `sagectl serve -push http://%s`, inspect with:\n", opt.addr, base)
 	fmt.Printf("  curl %s/replica/status\n", base)
 	fmt.Printf("  curl %s/models\n", base)
-	return http.ListenAndServe(opt.addr, replica.NewServer().Handler())
+	var sopts []replica.ServerOption
+	if opt.pushToken != "" {
+		fmt.Println("  (POST /push requires the shared bearer token)")
+		sopts = append(sopts, replica.WithAuthToken(opt.pushToken))
+	}
+	return http.ListenAndServe(opt.addr, replica.NewServer(sopts...).Handler())
 }
 
 // runServe publishes accepted pipelines into the model & feature store
@@ -265,11 +419,12 @@ func runServe(opt options, budget privacy.Budget) error {
 	// joiners are reconciled by the final Sync).
 	var pub *replica.Publisher
 	if opt.push != "" {
-		endpoints := strings.Split(opt.push, ",")
-		for i := range endpoints {
-			endpoints[i] = strings.TrimSpace(endpoints[i])
+		endpoints := splitEndpoints(opt.push)
+		popts := []replica.Option{replica.WithSelfHealing()}
+		if opt.pushToken != "" {
+			popts = append(popts, replica.WithAuth(opt.pushToken))
 		}
-		pub = replica.NewPublisher(st, endpoints)
+		pub = replica.NewPublisher(st, endpoints, popts...)
 		fmt.Printf("pushing accepted bundles to %d replica(s): %s\n", len(endpoints), strings.Join(endpoints, ", "))
 	}
 	r := rng.New(3)

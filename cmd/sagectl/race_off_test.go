@@ -1,0 +1,9 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors whether this test binary was built with -race, so
+// the e2e harness builds the sagectl child binary the same way and the
+// kill/relaunch loop actually runs under the race detector in CI's
+// -race job.
+const raceEnabled = false

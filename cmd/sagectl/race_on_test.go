@@ -1,0 +1,6 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors whether this test binary was built with -race.
+const raceEnabled = true

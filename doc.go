@@ -119,6 +119,67 @@
 // replica; `sagectl serve -push <urls>` publishes through the tier.
 // BENCH_replica.json records push latency and per-replica throughput.
 //
+// The push path is hardened for deployment across trust boundaries:
+// POST /push can be gated behind a shared-secret bearer token (checked
+// in constant time; the read API stays open), bodies are gzip-
+// compressed by default (Content-Encoding negotiation, a ~100× wire
+// reduction on wide released feature tables, with a decompression-size
+// cap against zip bombs), and publishers self-heal — a publisher
+// constructed with WithSelfHealing reconciles each replica against the
+// replica's own reported watermarks before its first push (and eagerly
+// via Heal), so a publisher restart or a replica that lost its disk
+// converges with no manual Sync.
+//
+// # Durable platform core
+//
+// Sage's guarantee is only as strong as the ledger's memory: an
+// in-memory AccessControl that dies between granting a Request and the
+// release being published loses privacy spend, and a restarted process
+// would re-grant budget that was already consumed. internal/wal and
+// internal/durable close that hole. wal.Log is a checksummed,
+// length-prefixed append-only log: appends are one write(2) plus
+// fdatasync, recovery truncates torn or corrupt tails back to the last
+// intact record boundary, and atomic snapshot+truncate compaction
+// (write temp, sync, rename) keeps recovery time bounded. durable.Open
+// threads one log under each stateful layer: core.AccessControl
+// journals register/request/refund/retire records and store.Store
+// journals every release's canonical bytes — the same bytes the replica
+// push digest covers, so the WAL certifies exactly what replicas
+// verified.
+//
+// The crash-consistency rule is journal-before-acknowledge: a request's
+// spend record reaches the log after admission checks pass but before
+// any budget is deducted or the caller unblocked. A crash can therefore
+// leave the recovered ledger with spends that were never acknowledged —
+// conservative, wasted budget — but never the reverse; refunds only
+// ever follow their request in log order, so recovered per-block loss
+// is always at least the budget genuinely consumed. Fault-injection
+// tests in internal/durable cut the logs at every record boundary (and
+// corrupt every record's checksum in turn) and pin both exact-state
+// recovery and the never-under-count invariant.
+//
+// # Continuous operation: sagectl daemon
+//
+// internal/daemon runs the full Fig. 1 loop forever on top of the
+// durable core — the platform as the paper operates it, over an
+// indefinitely growing database. Each tick: ingest the next
+// time-window block (synthetic taxi rides generated per-block from a
+// mixed seed, so restarts regenerate identical data), register it and
+// charge its share of the DP hour_speed release, run one
+// privacy-adaptive training attempt (round-robin across pipelines;
+// blocked pipelines wait for fresh blocks, per §3.2's "Sage never runs
+// out of budget as long as the database grows"), publish and push
+// accepted bundles to the replica tier, retire blocks that fall out of
+// the retention window (raw data deleted via the retention hook), and
+// periodically compact the WALs. SIGTERM drains gracefully; SIGKILL is
+// the tested path: the kill/relaunch e2e in cmd/sagectl kills the real
+// binary mid-loop and requires identical ledger remaining-budget, store
+// versions, and replica watermarks after relaunch, with replicas
+// converging through publisher self-healing alone. GET /daemon/status
+// exposes the ledger, store, and replica watermarks; the serving API is
+// mounted on the same handler. BENCH_wal.json records the journaling
+// overhead (sub-microsecond appends without fsync).
+//
 // The substrate's hot kernels are tuned for the sweeps' scale: Gram
 // accumulation exploits outer-product symmetry (upper triangle +
 // one mirror) and one-hot sparsity, Cholesky factorization and solves

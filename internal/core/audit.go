@@ -15,6 +15,7 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"repro/internal/data"
@@ -56,10 +57,125 @@ func AppendProvenance(dst []byte, pipeline string, spent privacy.Budget, blocks 
 	dst = AppendString(dst, pipeline)
 	dst = AppendFloat(dst, spent.Epsilon)
 	dst = AppendFloat(dst, spent.Delta)
+	dst = AppendBlockIDs(dst, blocks)
+	dst = AppendString(dst, decision)
+	return AppendFloat(dst, quality)
+}
+
+// AppendBlockIDs appends a length-prefixed block-ID list.
+func AppendBlockIDs(dst []byte, blocks []data.BlockID) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(len(blocks)))
 	for _, id := range blocks {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(id))
 	}
-	dst = AppendString(dst, decision)
-	return AppendFloat(dst, quality)
+	return dst
+}
+
+// Cursor decodes the canonical serialization the Append helpers
+// produce. It is sticky-error: the first short read or length overflow
+// poisons the cursor, subsequent reads return zero values, and Err
+// reports what went wrong — callers decode a whole record and check
+// once. The write-ahead log's recovery path is the main consumer: WAL
+// payloads are canonical bytes, so the same encoding that digests a
+// release also replays it.
+type Cursor struct {
+	buf []byte
+	err error
+}
+
+// NewCursor returns a cursor over canonical bytes.
+func NewCursor(b []byte) *Cursor { return &Cursor{buf: b} }
+
+// Err returns the first decode error (nil if all reads were in bounds).
+func (c *Cursor) Err() error { return c.err }
+
+// Remaining returns the number of unread bytes.
+func (c *Cursor) Remaining() int { return len(c.buf) }
+
+func (c *Cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("core: canonical decode: truncated %s (%d bytes left)", what, len(c.buf))
+	}
+}
+
+// Byte reads one raw byte.
+func (c *Cursor) Byte() byte {
+	if c.err != nil || len(c.buf) < 1 {
+		c.fail("byte")
+		return 0
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v
+}
+
+// Uint reads a fixed-width big-endian integer (AppendUint's inverse).
+func (c *Cursor) Uint() uint64 {
+	if c.err != nil || len(c.buf) < 8 {
+		c.fail("uint64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.buf)
+	c.buf = c.buf[8:]
+	return v
+}
+
+// Float reads an IEEE-754 bit pattern (AppendFloat's inverse).
+func (c *Cursor) Float() float64 { return math.Float64frombits(c.Uint()) }
+
+// String reads a length-prefixed string (AppendString's inverse).
+func (c *Cursor) String() string {
+	n := c.Uint()
+	if c.err != nil || uint64(len(c.buf)) < n {
+		c.fail("string")
+		return ""
+	}
+	v := string(c.buf[:n])
+	c.buf = c.buf[n:]
+	return v
+}
+
+// Floats reads a length-prefixed float64 slice (AppendFloats' inverse).
+// A zero length yields nil, matching how absent slices encode. The
+// length is bounded by the remaining bytes *before* any allocation
+// (divide, don't multiply — n*8 on an attacker-chosen n overflows), so
+// a damaged length field poisons the cursor instead of panicking.
+func (c *Cursor) Floats() []float64 {
+	n := c.Uint()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.buf))/8 {
+		c.fail("float slice")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c.Float()
+	}
+	return out
+}
+
+// BlockIDs reads a length-prefixed block-ID list (AppendBlockIDs'
+// inverse). A zero length yields nil.
+func (c *Cursor) BlockIDs() []data.BlockID {
+	n := c.Uint()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.buf))/8 {
+		c.fail("block-ID list")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]data.BlockID, n)
+	for i := range out {
+		out[i] = data.BlockID(c.Uint())
+	}
+	return out
 }

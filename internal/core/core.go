@@ -74,6 +74,10 @@ type AccessControl struct {
 	policy   Policy
 	blocks   map[data.BlockID]*blockState
 	onRetire func(data.BlockID)
+	// journal, when set (SetJournal), receives every mutation before it
+	// is applied or acknowledged — the ledger half of the durable
+	// platform core (see journal.go for the crash-consistency argument).
+	journal func(LedgerRecord) error
 }
 
 // NewAccessControl returns an access-control layer enforcing the policy.
@@ -101,12 +105,18 @@ func (ac *AccessControl) SetRetireCallback(f func(data.BlockID)) {
 
 // RegisterBlock makes a new block known to the access control with a
 // fresh (zero) privacy loss. Registering an existing block is a no-op
-// returning false.
+// returning false (and is not journaled). With a journal installed, a
+// journal failure panics: RegisterBlock has no error return, and a
+// ledger that cannot journal must stop rather than diverge from its
+// log.
 func (ac *AccessControl) RegisterBlock(id data.BlockID) bool {
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
 	if _, ok := ac.blocks[id]; ok {
 		return false
+	}
+	if err := ac.journalLocked(LedgerRecord{Op: LedgerRegister, Blocks: []data.BlockID{id}}); err != nil {
+		panic(err)
 	}
 	ac.blocks[id] = &blockState{acct: privacy.NewAccountant(ac.policy.Arithmetic)}
 	return true
@@ -219,6 +229,15 @@ func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 				}
 			}
 		}
+		// Journal point: the request is admissible. The spend record
+		// hits the write-ahead log *before* any deduction is applied or
+		// the caller acknowledged, so a crash from here on can only
+		// leave the recovered ledger with this spend applied-but-
+		// unacknowledged — conservative, never the reverse. A journal
+		// failure aborts with no budget deducted.
+		if err := ac.journalLocked(LedgerRecord{Op: LedgerRequest, Blocks: ids, Budget: b}); err != nil {
+			return err
+		}
 		// Phase 2: deduct everywhere.
 		for _, id := range ids {
 			st := ac.blocks[id]
@@ -284,6 +303,14 @@ func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 			return ErrUnknownBlock{ID: id}
 		}
 	}
+	// Journal before applying: a refund that reaches the log without
+	// its acknowledgement only under-counts relative to the *reserved*
+	// budget, never the consumed one — the matching Request is already
+	// in the log (journal order is lock order), and a refund never
+	// exceeds that reservation's unconsumed remainder.
+	if err := ac.journalLocked(LedgerRecord{Op: LedgerRefund, Blocks: ids, Budget: b}); err != nil {
+		return err
+	}
 	// Phase 2: refund everywhere.
 	for _, id := range ids {
 		st := ac.blocks[id]
@@ -304,6 +331,17 @@ func (ac *AccessControl) Retire(id data.BlockID) error {
 	if !ok {
 		ac.mu.Unlock()
 		return ErrUnknownBlock{ID: id}
+	}
+	// A block that is already sticky-retired cannot change state (the
+	// reason is already forced or retention-deleted): pure no-op, not
+	// journaled — same rule as re-registering an existing block.
+	if st.retired && st.sticky {
+		ac.mu.Unlock()
+		return nil
+	}
+	if err := ac.journalLocked(LedgerRecord{Op: LedgerRetire, Blocks: []data.BlockID{id}}); err != nil {
+		ac.mu.Unlock()
+		return err
 	}
 	already := st.retired
 	st.retired = true

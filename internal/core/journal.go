@@ -1,0 +1,260 @@
+package core
+
+// Write-ahead journaling for the privacy ledger. The paper's central
+// guarantee — no block's cumulative privacy loss ever exceeds (εg, δg),
+// and no deduction is ever forgotten — is only as strong as the
+// ledger's memory. An in-memory AccessControl that dies between
+// granting a Request and the release being published *loses spend*,
+// which silently breaks block composition: the recovered platform would
+// re-grant budget that was already consumed.
+//
+// The journal closes that hole with one rule: every mutation is
+// journaled *before it is acknowledged*. Request journals after its
+// admission checks pass and before any budget is deducted or the caller
+// unblocked; Refund, RegisterBlock, and Retire journal before mutating.
+// A crash can therefore leave the journal strictly *ahead* of what
+// callers observed, never behind: replaying it may re-apply a spend
+// whose acknowledgement never arrived (conservative — budget is wasted,
+// privacy is not), but it can never drop a spend that was acknowledged.
+// Refund records are only ever journaled after the Request they correct
+// (journal order is mutation order, both taken under the ledger lock),
+// so a recovered ledger's per-block loss is always ≥ the budget
+// actually consumed by acknowledged releases.
+//
+// The ledger does not know about files: it calls an injected journal
+// func with a LedgerRecord and treats a non-nil error as "this mutation
+// cannot be made durable" — the operation fails and state is untouched.
+// internal/durable binds the func to a wal.Log and replays records on
+// open by calling the same public methods, with the journal unset, so
+// recovery exercises exactly the code paths that produced the records.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/privacy"
+)
+
+// LedgerOp enumerates the journaled ledger mutations.
+type LedgerOp byte
+
+const (
+	// LedgerRegister records RegisterBlock (Blocks has one entry,
+	// Budget is zero).
+	LedgerRegister LedgerOp = 1
+	// LedgerRequest records a granted Request: Budget deducted from
+	// every block in Blocks (already deduplicated).
+	LedgerRequest LedgerOp = 2
+	// LedgerRefund records a Refund of Budget to every block in Blocks.
+	LedgerRefund LedgerOp = 3
+	// LedgerRetire records a forced Retire (Blocks has one entry).
+	LedgerRetire LedgerOp = 4
+)
+
+func (op LedgerOp) String() string {
+	switch op {
+	case LedgerRegister:
+		return "register"
+	case LedgerRequest:
+		return "request"
+	case LedgerRefund:
+		return "refund"
+	case LedgerRetire:
+		return "retire"
+	default:
+		return fmt.Sprintf("ledger-op(%d)", byte(op))
+	}
+}
+
+// LedgerRecord is one journaled ledger mutation, encoded canonically
+// (audit.go helpers) so the journal doubles as an audit trail: the same
+// fixed-order, bit-exact serialization that digests releases.
+type LedgerRecord struct {
+	Op     LedgerOp
+	Blocks []data.BlockID
+	Budget privacy.Budget
+}
+
+// Encode returns the record's canonical serialization.
+func (r LedgerRecord) Encode() []byte {
+	buf := make([]byte, 0, 1+8+len(r.Blocks)*8+16)
+	buf = append(buf, byte(r.Op))
+	buf = AppendBlockIDs(buf, r.Blocks)
+	buf = AppendFloat(buf, r.Budget.Epsilon)
+	return AppendFloat(buf, r.Budget.Delta)
+}
+
+// DecodeLedgerRecord parses a canonical ledger record.
+func DecodeLedgerRecord(raw []byte) (LedgerRecord, error) {
+	c := NewCursor(raw)
+	rec := LedgerRecord{
+		Op:     LedgerOp(c.Byte()),
+		Blocks: c.BlockIDs(),
+	}
+	rec.Budget.Epsilon = c.Float()
+	rec.Budget.Delta = c.Float()
+	if err := c.Err(); err != nil {
+		return LedgerRecord{}, fmt.Errorf("core: ledger record: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return LedgerRecord{}, fmt.Errorf("core: ledger record: %d trailing bytes", c.Remaining())
+	}
+	switch rec.Op {
+	case LedgerRegister, LedgerRequest, LedgerRefund, LedgerRetire:
+	default:
+		return LedgerRecord{}, fmt.Errorf("core: ledger record: unknown op %d", byte(rec.Op))
+	}
+	return rec, nil
+}
+
+// SetJournal installs the write-ahead journal. Every subsequent
+// mutation calls it, under the ledger lock, before any state changes or
+// the caller is acknowledged; a non-nil return aborts the mutation.
+// Install the journal *after* replaying recovered records — replay uses
+// the public mutation methods, and a set journal would re-journal them.
+// RegisterBlock and Publish-style paths that cannot surface an error
+// treat a journal failure as fatal (panic): a durable ledger that can
+// no longer journal must stop taking mutations rather than silently
+// diverge from its log.
+func (ac *AccessControl) SetJournal(journal func(LedgerRecord) error) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.journal = journal
+}
+
+// Blocks returns every registered block ID in ascending order — the
+// recovery path's view of which blocks exist (after a crash the
+// GrowingDatabase is empty; the ledger is what remembers the stream's
+// extent).
+func (ac *AccessControl) Blocks() []data.BlockID {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	out := make([]data.BlockID, 0, len(ac.blocks))
+	for id := range ac.blocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapshotVersion guards the snapshot layout for forward evolution.
+const snapshotVersion = 1
+
+// Snapshot returns a canonical serialization of the full ledger state:
+// every block's spend history (individual spends, not just the sum —
+// strong-composition arithmetics need the sequence), retirement flags,
+// and reason. Compaction writes it as the single record that replaces
+// the journal's history. The policy is deliberately not included: it is
+// configuration, supplied by the operator at open, and RestoreSnapshot
+// validates state against it.
+func (ac *AccessControl) Snapshot() []byte {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ids := make([]data.BlockID, 0, len(ac.blocks))
+	for id := range ac.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	buf := AppendUint(nil, snapshotVersion)
+	buf = AppendUint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		st := ac.blocks[id]
+		buf = AppendUint(buf, uint64(id))
+		var flags byte
+		if st.retired {
+			flags |= 1
+		}
+		if st.sticky {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		buf = AppendString(buf, string(st.reason))
+		spends := st.acct.Spends()
+		buf = AppendUint(buf, uint64(len(spends)))
+		for _, s := range spends {
+			buf = AppendFloat(buf, s.Epsilon)
+			buf = AppendFloat(buf, s.Delta)
+		}
+	}
+	return buf
+}
+
+// RestoreSnapshot replaces the ledger's block state with a snapshot
+// produced by Snapshot. It is the recovery path's first step (journal
+// records recorded after the snapshot replay on top); calling it on a
+// ledger that already has state discards that state.
+func (ac *AccessControl) RestoreSnapshot(snap []byte) error {
+	c := NewCursor(snap)
+	if v := c.Uint(); c.Err() == nil && v != snapshotVersion {
+		return fmt.Errorf("core: ledger snapshot version %d, want %d", v, snapshotVersion)
+	}
+	n := c.Uint()
+	// Each block entry is at least id + flags + reason-length + spend
+	// count (25 bytes); a damaged count must not size the allocation.
+	if n > uint64(c.Remaining())/25 {
+		return fmt.Errorf("core: ledger snapshot: block count %d exceeds payload", n)
+	}
+	blocks := make(map[data.BlockID]*blockState, n)
+	for i := uint64(0); i < n && c.Err() == nil; i++ {
+		id := data.BlockID(c.Uint())
+		flags := c.Byte()
+		reason := RetireReason(c.String())
+		nspends := c.Uint()
+		if c.Err() != nil {
+			break
+		}
+		st := &blockState{
+			acct:    privacy.NewAccountant(ac.policy.Arithmetic),
+			retired: flags&1 != 0,
+			sticky:  flags&2 != 0,
+			reason:  reason,
+		}
+		for j := uint64(0); j < nspends && c.Err() == nil; j++ {
+			b := privacy.Budget{Epsilon: c.Float(), Delta: c.Float()}
+			if c.Err() != nil {
+				break
+			}
+			if err := b.Validate(); err != nil {
+				return fmt.Errorf("core: ledger snapshot block %d spend %d: %w", id, j, err)
+			}
+			st.acct.Spend(b)
+		}
+		// Validate against the open policy: every loss the admission
+		// checks ever granted stayed under the ceiling, so a restored
+		// loss above it means the snapshot was written under a looser
+		// policy than this ledger is being opened with. Fail closed —
+		// the op-replay path fails the same way (its admission checks
+		// reject), so recovery behavior cannot depend on whether a
+		// compaction happened to run before the crash.
+		if loss := st.acct.Loss(); c.Err() == nil && !ac.policy.Global.Covers(loss) {
+			return fmt.Errorf("core: ledger snapshot block %d: restored loss %v exceeds policy ceiling %v",
+				id, loss, ac.policy.Global)
+		}
+		blocks[id] = st
+	}
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("core: ledger snapshot: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return fmt.Errorf("core: ledger snapshot: %d trailing bytes", c.Remaining())
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.blocks = blocks
+	return nil
+}
+
+// journalLocked writes one record through the installed journal (no-op
+// when none is installed). Caller holds mu. A non-nil error means the
+// mutation must not proceed.
+func (ac *AccessControl) journalLocked(rec LedgerRecord) error {
+	if ac.journal == nil {
+		return nil
+	}
+	if err := ac.journal(rec); err != nil {
+		return fmt.Errorf("core: journal %s: %w", rec.Op, err)
+	}
+	return nil
+}

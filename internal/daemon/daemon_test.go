@@ -1,0 +1,284 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/privacy"
+	"repro/internal/replica"
+)
+
+// fastConfig is a daemon configuration scaled for tests: small blocks,
+// a short window, loose SLAs the stream meets quickly, no fsync.
+func fastConfig(dir string) Config {
+	return Config{
+		Dir:          dir,
+		Global:       privacy.MustBudget(1.0, 1e-6),
+		Tick:         time.Millisecond,
+		RowsPerBlock: 6000,
+		Window:       24,
+		Pipelines:    2,
+		SLATargets:   []float64{0.04, 0.042},
+		FeatureEps:   0.02,
+		MinWindow:    4,
+		// Start the adaptive search at the cap: at this reduced scale
+		// the SLAed accept test needs the full per-attempt ε to certify
+		// the target, so the doubling ladder would only burn budget.
+		Epsilon0:     0.5,
+		EpsilonCap:   0.5,
+		Seed:         5,
+		CompactEvery: 5,
+		NoSync:       true,
+	}
+}
+
+// durableFields strips a Status down to the fields a restart must
+// preserve.
+func durableFields(st Status) Status {
+	return Status{
+		NextBlock:       st.NextBlock,
+		Blocks:          st.Blocks,
+		StreamLossEps:   st.StreamLossEps,
+		StreamLossDelta: st.StreamLossDelta,
+		StoreVersions:   st.StoreVersions,
+	}
+}
+
+func TestDaemonLoopPublishesAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	cfg.MaxTicks = 8
+
+	d, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Status()
+	if st.Ticks != 8 {
+		t.Fatalf("ran %d ticks, want 8", st.Ticks)
+	}
+	if st.NextBlock != 8 || len(st.Blocks) != 8 {
+		t.Fatalf("ingested %d blocks (next %d), want 8", len(st.Blocks), st.NextBlock)
+	}
+	if st.Published == 0 {
+		t.Fatal("no releases published in 8 ticks — SLA targets unreachable?")
+	}
+	// Every block was charged the feature release.
+	for _, b := range st.Blocks {
+		if !b.Retired && b.LossEps < cfg.FeatureEps-1e-12 {
+			t.Fatalf("block %d loss %v below feature charge", b.ID, b.LossEps)
+		}
+	}
+
+	// Restart: the recovered daemon reports the identical durable
+	// state before its first tick.
+	d2, stats, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ledger.Records == 0 {
+		t.Fatal("restart recovered an empty ledger log")
+	}
+	st2 := d2.Status()
+	if !reflect.DeepEqual(durableFields(st2), durableFields(st)) {
+		t.Fatalf("restart diverges:\n got %+v\nwant %+v", durableFields(st2), durableFields(st))
+	}
+	// The raw data came back too: training can continue immediately,
+	// and the stream resumes at block 8 rather than 0.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d2.Run(ctx) }()
+	deadline := time.After(10 * time.Second)
+	for {
+		cur := d2.Status()
+		if cur.NextBlock >= 10 && cur.Published > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("restarted daemon made no progress: %+v", d2.Status())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	final := d2.Status()
+	if final.StoreVersions["taxi-lr-0"] < st.StoreVersions["taxi-lr-0"] {
+		t.Fatal("restart lost published versions")
+	}
+	for _, b := range final.Blocks[:8] {
+		prev := st.Blocks[int(b.ID)]
+		if b.LossEps+1e-12 < prev.LossEps && !b.Retired {
+			t.Fatalf("block %d loss shrank across restart: %v -> %v", b.ID, prev.LossEps, b.LossEps)
+		}
+	}
+}
+
+// TestDaemonCrashMidLoop simulates a hard kill: the daemon is abandoned
+// without drain (no final sync/compact/close), and a fresh platform
+// opened on the same WAL directory must equal the abandoned daemon's
+// live state exactly.
+func TestDaemonCrashMidLoop(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	d, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close — this is the crash. The OS file handles stay open in
+	// this process, but the bytes are already in the files.
+	want := durableFields(d.Status())
+
+	d2, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := durableFields(d2.Status()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crash recovery diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDaemonRetentionRetiresAndDeletes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	cfg.Retention = 3
+	cfg.MaxTicks = 7
+	d, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Status()
+	// After 7 ticks with a 3-block window, blocks 0..3 are outside the
+	// window and must be retired.
+	if st.RetiredBlocks < 4 {
+		t.Fatalf("retired %d blocks, want >= 4", st.RetiredBlocks)
+	}
+	for _, b := range st.Blocks {
+		if b.ID < st.NextBlock-3 && !b.Retired {
+			t.Fatalf("block %d outside retention window still active", b.ID)
+		}
+	}
+	if d.db.BlockSize(0) != 0 {
+		t.Fatal("retired block's raw data not deleted")
+	}
+
+	// A restarted daemon must not resurrect retired blocks' data.
+	d2, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.db.BlockSize(0) != 0 {
+		t.Fatal("restart re-ingested a retention-deleted block")
+	}
+	if !d2.plat.AC.Retired(0) {
+		t.Fatal("retirement not recovered")
+	}
+}
+
+// TestDaemonPushesToReplicas runs the full loop against live replica
+// servers (auth on) and requires convergence, including a publisher
+// restart healing a wiped replica.
+func TestDaemonPushesToReplicas(t *testing.T) {
+	repA := replica.NewServer(replica.WithAuthToken("tok"))
+	srvA := httptest.NewServer(repA.Handler())
+	defer srvA.Close()
+	repB := replica.NewServer(replica.WithAuthToken("tok"))
+	srvB := httptest.NewServer(repB.Handler())
+	defer srvB.Close()
+
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	cfg.MaxTicks = 8
+	cfg.PushEndpoints = []string{srvA.URL, srvB.URL}
+	cfg.PushToken = "tok"
+	d, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	versions := d.Platform().Store.Watermarks()
+	if len(versions) == 0 {
+		t.Fatal("nothing published")
+	}
+	for name, n := range versions {
+		if repA.Store().VersionCount(name) != n || repB.Store().VersionCount(name) != n {
+			t.Fatalf("replicas behind on %s: %d/%d vs %d",
+				name, repA.Store().VersionCount(name), repB.Store().VersionCount(name), n)
+		}
+	}
+
+	// Wipe replica B (simulates a replica restart with no disk), then
+	// restart the daemon: startup heal must repopulate it with no
+	// manual Sync.
+	repB2 := replica.NewServer(replica.WithAuthToken("tok"))
+	srvB2 := httptest.NewServer(repB2.Handler())
+	defer srvB2.Close()
+	cfg.PushEndpoints = []string{srvA.URL, srvB2.URL}
+	d2, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for name, n := range versions {
+		if got := repB2.Store().VersionCount(name); got != n {
+			t.Fatalf("startup heal left %s at %d, want %d", name, got, n)
+		}
+	}
+}
+
+func TestDaemonStatusEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	cfg.MaxTicks = 4
+	d, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/daemon/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ticks != 4 || len(st.Blocks) != 4 {
+		t.Fatalf("status over HTTP: %+v", st)
+	}
+	// The serving API is mounted on the same handler.
+	resp2, err := srv.Client().Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("/models returned %d", resp2.StatusCode)
+	}
+}

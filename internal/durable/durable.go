@@ -1,0 +1,256 @@
+// Package durable binds Sage's two stateful layers — the privacy ledger
+// (core.AccessControl) and the model & feature store (store.Store) — to
+// write-ahead logs (internal/wal), turning the in-memory platform into
+// one that survives crashes. This is the durability prerequisite for
+// continuous operation (§3.2's indefinitely-growing stream): a platform
+// that can lose privacy spend in a crash cannot honestly claim the
+// (εg, δg) block-composition guarantee, because a restarted process
+// would re-grant budget that was already consumed.
+//
+// # Layout
+//
+// Open(dir) manages two logs in one directory:
+//
+//	ledger.wal — one record per ledger mutation (register / request /
+//	             refund / retire, core.LedgerRecord canonical encoding),
+//	             plus snapshot records written by Compact.
+//	store.wal  — one record per release, the bundle's canonical bytes
+//	             (store.Bundle.CanonicalBytes). The record is the push
+//	             digest's preimage, so what the WAL certifies is exactly
+//	             what replicas verified.
+//
+// # Recovery
+//
+// Open replays each log through the same public mutation methods that
+// produced it (journals are installed only after replay, so replay does
+// not re-journal). Torn or corrupt tails are truncated by the WAL layer;
+// a record that fails to decode or re-apply is a hard error — that is
+// middle-of-log corruption, which the appendable-journal crash model
+// says cannot happen, so refusing to guess is safer than serving a
+// ledger with a hole in it.
+//
+// # Crash-consistency rule
+//
+// Both layers journal before acknowledging (see core/journal.go and
+// store.SetJournal), so for any crash point the recovered state is the
+// acknowledged state plus possibly a suffix of journaled-but-
+// unacknowledged operations. For the ledger that means recovered
+// per-block loss ≥ budget actually consumed by acknowledged releases —
+// recovery can waste budget (a spend whose grant never reached the
+// caller), never under-count it. The fault-injection tests in this
+// package cut the logs at every record boundary and pin that invariant.
+//
+// The two logs are independent. The daemon orders its operations so
+// that the cross-log interleavings a crash can produce are all safe:
+// budget is journaled (ledger) before a release is journaled (store),
+// and the release is journaled before it is pushed to replicas — so a
+// crash can leave spend without its release (conservative) but never a
+// released or replicated bundle without its spend.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// Record types in ledger.wal.
+const (
+	recLedgerSnapshot byte = 1
+	recLedgerOp       byte = 2
+)
+
+// Record type in store.wal: every record is one release's canonical
+// bytes (snapshots are just the same records rewritten by compaction).
+const recBundle byte = 1
+
+// LedgerLogName and StoreLogName are the file names inside the WAL
+// directory.
+const (
+	LedgerLogName = "ledger.wal"
+	StoreLogName  = "store.wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// NoSync disables per-append fsync on both logs (tests/benchmarks
+	// only; see wal.Options.NoSync).
+	NoSync bool
+	// OnRetire is the DP-retention hook, registered on the ledger
+	// *before* replay so that recovery reproduces retirement stickiness
+	// (a hook that deleted raw data makes the retirement irreversible)
+	// exactly as it happened. During replay the hook re-fires for
+	// blocks retired in the journal; retention deletion is idempotent
+	// (the post-crash database is empty), but the hook must tolerate
+	// being called for blocks it has already processed.
+	OnRetire func(data.BlockID)
+}
+
+// Platform is the durable platform core: a ledger and a store whose
+// every acknowledged mutation is in the write-ahead logs.
+type Platform struct {
+	AC    *core.AccessControl
+	Store *store.Store
+
+	ledgerLog *wal.Log
+	storeLog  *wal.Log
+}
+
+// Open opens (creating if needed) the WAL directory, replays both logs,
+// and returns a platform positioned exactly where the last acknowledged
+// operation left it. The returned stats describe what recovery found.
+func Open(dir string, policy core.Policy, opts Options) (*Platform, Stats, error) {
+	var stats Stats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("durable: create %s: %w", dir, err)
+	}
+	walOpts := wal.Options{NoSync: opts.NoSync}
+
+	ledgerLog, ledgerRecs, err := wal.Open(filepath.Join(dir, LedgerLogName), walOpts)
+	if err != nil {
+		return nil, stats, err
+	}
+	ac := core.NewAccessControl(policy)
+	if opts.OnRetire != nil {
+		ac.SetRetireCallback(opts.OnRetire)
+	}
+	if err := replayLedger(ac, ledgerRecs); err != nil {
+		ledgerLog.Close()
+		return nil, stats, err
+	}
+	ac.SetJournal(func(rec core.LedgerRecord) error {
+		return ledgerLog.Append(recLedgerOp, rec.Encode())
+	})
+
+	storeLog, storeRecs, err := wal.Open(filepath.Join(dir, StoreLogName), walOpts)
+	if err != nil {
+		ledgerLog.Close()
+		return nil, stats, err
+	}
+	st := store.New()
+	if err := replayStore(st, storeRecs); err != nil {
+		ledgerLog.Close()
+		storeLog.Close()
+		return nil, stats, err
+	}
+	st.SetJournal(func(canonical []byte) error {
+		return storeLog.Append(recBundle, canonical)
+	})
+
+	stats = Stats{Ledger: ledgerLog.Stats(), Store: storeLog.Stats()}
+	return &Platform{AC: ac, Store: st, ledgerLog: ledgerLog, storeLog: storeLog}, stats, nil
+}
+
+// Stats reports what recovery found in each log.
+type Stats struct {
+	Ledger wal.Stats
+	Store  wal.Stats
+}
+
+// replayLedger applies recovered ledger records in order through the
+// public mutation methods (no journal installed yet).
+func replayLedger(ac *core.AccessControl, records []wal.Record) error {
+	for i, r := range records {
+		switch r.Type {
+		case recLedgerSnapshot:
+			if err := ac.RestoreSnapshot(r.Payload); err != nil {
+				return fmt.Errorf("durable: ledger record %d: %w", i, err)
+			}
+		case recLedgerOp:
+			rec, err := core.DecodeLedgerRecord(r.Payload)
+			if err != nil {
+				return fmt.Errorf("durable: ledger record %d: %w", i, err)
+			}
+			if err := applyLedgerRecord(ac, rec); err != nil {
+				return fmt.Errorf("durable: ledger record %d (%v): %w", i, rec.Op, err)
+			}
+		default:
+			return fmt.Errorf("durable: ledger record %d: unknown type %d", i, r.Type)
+		}
+	}
+	return nil
+}
+
+// applyLedgerRecord re-executes one journaled mutation. The journal
+// only holds operations that succeeded, and the ledger is
+// deterministic, so replay failing means the log does not match the
+// policy it is being opened under (or is corrupt mid-log).
+func applyLedgerRecord(ac *core.AccessControl, rec core.LedgerRecord) error {
+	switch rec.Op {
+	case core.LedgerRegister:
+		for _, id := range rec.Blocks {
+			ac.RegisterBlock(id)
+		}
+		return nil
+	case core.LedgerRequest:
+		return ac.Request(rec.Blocks, rec.Budget)
+	case core.LedgerRefund:
+		return ac.Refund(rec.Blocks, rec.Budget)
+	case core.LedgerRetire:
+		for _, id := range rec.Blocks {
+			if err := ac.Retire(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %d", byte(rec.Op))
+	}
+}
+
+// replayStore re-applies recovered releases in journal order.
+func replayStore(st *store.Store, records []wal.Record) error {
+	for i, r := range records {
+		if r.Type != recBundle {
+			return fmt.Errorf("durable: store record %d: unknown type %d", i, r.Type)
+		}
+		b, err := store.DecodeCanonicalBundle(r.Payload)
+		if err != nil {
+			return fmt.Errorf("durable: store record %d: %w", i, err)
+		}
+		if _, err := st.Apply(*b); err != nil {
+			return fmt.Errorf("durable: store record %d (%s@v%d): %w", i, b.Name, b.Version, err)
+		}
+	}
+	return nil
+}
+
+// Compact rewrites both logs as snapshots of current state, bounding
+// recovery time for a long-running daemon. It must not race mutations:
+// the caller (the daemon's single-threaded loop) must ensure no
+// Request/Publish/… is in flight, or the racing operation's journal
+// record could be rewritten away.
+func (p *Platform) Compact() error {
+	if err := p.ledgerLog.Compact([]wal.Record{
+		{Type: recLedgerSnapshot, Payload: p.AC.Snapshot()},
+	}); err != nil {
+		return err
+	}
+	bundles := p.Store.SnapshotBundles()
+	records := make([]wal.Record, len(bundles))
+	for i, b := range bundles {
+		records[i] = wal.Record{Type: recBundle, Payload: b}
+	}
+	return p.storeLog.Compact(records)
+}
+
+// LogSizes returns the current byte sizes of (ledger, store) logs —
+// the daemon's compaction trigger input.
+func (p *Platform) LogSizes() (int64, int64) {
+	return p.ledgerLog.Size(), p.storeLog.Size()
+}
+
+// Close syncs and closes both logs. The ledger and store remain usable
+// in memory but further mutations will fail their journal writes.
+func (p *Platform) Close() error {
+	err := p.ledgerLog.Close()
+	if serr := p.storeLog.Close(); err == nil {
+		err = serr
+	}
+	return err
+}

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,10 +33,21 @@ type Publisher struct {
 	client  *http.Client
 	retries int
 	backoff time.Duration
+	// authToken, when non-empty, is sent as "Authorization: Bearer …"
+	// on every push (replicas started with WithAuthToken require it).
+	authToken string
+	// gzipMin is the body size from which pushes are gzip-compressed
+	// (Content-Encoding: gzip); negative disables compression.
+	gzipMin int
+	// selfHeal marks endpoints "unreconciled" at construction and on
+	// AddEndpoints; the first push to such an endpoint (or Heal) first
+	// backfills everything its reported watermarks say is missing.
+	selfHeal bool
 
-	mu         sync.Mutex
-	endpoints  []string
-	watermarks map[string]map[string]int // endpoint → name → applied versions
+	mu          sync.Mutex
+	endpoints   []string
+	watermarks  map[string]map[string]int // endpoint → name → applied versions
+	healPending map[string]bool           // endpoints not yet reconciled since construction
 }
 
 // Option configures a Publisher.
@@ -52,29 +64,68 @@ func WithRetry(retries int, backoff time.Duration) Option {
 	return func(p *Publisher) { p.retries, p.backoff = retries, backoff }
 }
 
+// WithAuth sends the shared-secret bearer token with every push,
+// matching a replica started with the server-side WithAuthToken.
+func WithAuth(tok string) Option {
+	return func(p *Publisher) { p.authToken = tok }
+}
+
+// WithoutCompression disables gzip push bodies (the default compresses
+// bodies of 1 KiB and up — wide released feature tables are highly
+// redundant, so compression cuts fan-out bandwidth by integer factors).
+func WithoutCompression() Option {
+	return func(p *Publisher) { p.gzipMin = -1 }
+}
+
+// WithSelfHealing makes the publisher reconcile each endpoint against
+// the replica's *reported* applied-version watermarks before the first
+// push after construction (and after AddEndpoints), backfilling
+// whatever the replica is missing. This is the publisher-restart path:
+// a restarted publisher has an empty watermark cache and possibly
+// replicas that missed releases while it was down; with self-healing,
+// recovery needs no manual Sync — the daemon simply constructs its
+// publisher and the tier converges. Heal() runs the same reconciliation
+// eagerly (e.g. at daemon startup, so replicas converge even before
+// the next natural push).
+func WithSelfHealing() Option {
+	return func(p *Publisher) { p.selfHeal = true }
+}
+
 // NewPublisher returns a publisher over the authoritative store,
 // pushing to the given replica base URLs (e.g. "http://10.0.0.7:8081").
 func NewPublisher(src *store.Store, endpoints []string, opts ...Option) *Publisher {
 	p := &Publisher{
-		src:        src,
-		client:     http.DefaultClient,
-		retries:    3,
-		backoff:    100 * time.Millisecond,
-		endpoints:  append([]string(nil), endpoints...),
-		watermarks: make(map[string]map[string]int),
+		src:         src,
+		client:      http.DefaultClient,
+		retries:     3,
+		backoff:     100 * time.Millisecond,
+		gzipMin:     1 << 10,
+		endpoints:   append([]string(nil), endpoints...),
+		watermarks:  make(map[string]map[string]int),
+		healPending: make(map[string]bool),
 	}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.selfHeal {
+		for _, ep := range p.endpoints {
+			p.healPending[ep] = true
+		}
 	}
 	return p
 }
 
 // AddEndpoints registers additional replicas (a late join). They serve
-// nothing until the next Push or Sync reaches them.
+// nothing until the next Push, Sync, or Heal reaches them.
 func (p *Publisher) AddEndpoints(endpoints ...string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.endpoints = append(p.endpoints, endpoints...)
+	if p.selfHeal {
+		for _, ep := range endpoints {
+			p.healPending[ep] = true
+		}
+	}
 }
 
 // Endpoints returns the registered replica URLs.
@@ -128,15 +179,40 @@ func (p *Publisher) Publish(b store.Bundle) (int, error) {
 	return version, p.Push(b.Name, version)
 }
 
+// pushBody is one encoded bundle ready for the wire: the gob bytes and,
+// when compression is on and pays for itself, their gzip form.
+type pushBody struct{ raw, gz []byte }
+
+// encodePush encodes a bundle and (by default, for bodies of gzipMin
+// bytes and up) compresses it. The compressed form is only kept when it
+// is actually smaller, so incompressible bundles ship identity-encoded.
+func (p *Publisher) encodePush(b *store.Bundle) (pushBody, error) {
+	raw, err := b.Encode()
+	if err != nil {
+		return pushBody{}, err
+	}
+	body := pushBody{raw: raw}
+	if p.gzipMin >= 0 && len(raw) >= p.gzipMin {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(raw); err == nil && zw.Close() == nil && buf.Len() < len(raw) {
+			body.gz = buf.Bytes()
+		}
+	}
+	return body, nil
+}
+
 // Push ships name@version from the source store to every replica,
 // concurrently. Each replica failure is independent; the joined error
-// reports every endpoint that did not converge.
+// reports every endpoint that did not converge. With self-healing on,
+// an endpoint that has not been reconciled since this publisher started
+// is first backfilled from its reported watermarks.
 func (p *Publisher) Push(name string, version int) error {
 	bundle, ok := p.src.Get(name, version)
 	if !ok {
 		return fmt.Errorf("replica: push %s@v%d: not in source store", name, version)
 	}
-	raw, err := bundle.Encode()
+	body, err := p.encodePush(bundle)
 	if err != nil {
 		return err
 	}
@@ -147,10 +223,59 @@ func (p *Publisher) Push(name string, version int) error {
 		wg.Add(1)
 		go func(i int, ep string) {
 			defer wg.Done()
-			errs[i] = p.pushTo(ep, name, version, raw)
+			p.ensureHealed(ep)
+			errs[i] = p.pushTo(ep, name, version, body)
 		}(i, ep)
 	}
 	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ensureHealed reconciles an endpoint flagged by WithSelfHealing. On
+// failure the flag stays set (the gap protocol still converges the
+// pushed name; other names retry at the next push or Heal).
+func (p *Publisher) ensureHealed(ep string) {
+	p.mu.Lock()
+	pending := p.healPending[ep]
+	p.mu.Unlock()
+	if !pending {
+		return
+	}
+	if err := p.healEndpoint(ep); err == nil {
+		p.mu.Lock()
+		delete(p.healPending, ep)
+		p.mu.Unlock()
+	}
+}
+
+// healEndpoint fetches the replica's own applied-version watermarks and
+// backfills every missing release. Unlike the cached-watermark path,
+// this trusts only what the replica reports — the correct stance right
+// after a restart on either side.
+func (p *Publisher) healEndpoint(ep string) error {
+	applied, err := p.fetchStatus(ep)
+	if err != nil {
+		return err
+	}
+	return p.syncEndpoint(ep, p.src.List(), applied)
+}
+
+// Heal eagerly reconciles every endpoint against its reported
+// watermarks — the publisher-restart recovery path (the daemon calls it
+// at startup so replicas that missed releases while the publisher was
+// down converge before the next natural push). Endpoints that cannot
+// be reached stay flagged for lazy healing on their next push.
+func (p *Publisher) Heal() error {
+	var errs []error
+	for _, ep := range p.Endpoints() {
+		if err := p.healEndpoint(ep); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		p.mu.Lock()
+		delete(p.healPending, ep)
+		p.mu.Unlock()
+	}
 	return errors.Join(errs...)
 }
 
@@ -198,11 +323,11 @@ func (p *Publisher) syncEndpoint(ep string, names []string, applied map[string]i
 			if !ok {
 				continue
 			}
-			raw, err := bundle.Encode()
+			body, err := p.encodePush(bundle)
 			if err != nil {
 				return err
 			}
-			if err := p.pushTo(ep, name, v, raw); err != nil {
+			if err := p.pushTo(ep, name, v, body); err != nil {
 				return err
 			}
 		}
@@ -233,7 +358,7 @@ func (p *Publisher) fetchStatus(endpoint string) (map[string]int, error) {
 // pushTo delivers one encoded bundle to one replica, retrying transport
 // errors with exponential backoff and healing version gaps by
 // backfilling from the replica's reported watermark.
-func (p *Publisher) pushTo(endpoint, name string, version int, raw []byte) error {
+func (p *Publisher) pushTo(endpoint, name string, version int, body pushBody) error {
 	backoff := p.backoff
 	var lastErr error
 	for attempt := 0; attempt <= p.retries; attempt++ {
@@ -241,7 +366,7 @@ func (p *Publisher) pushTo(endpoint, name string, version int, raw []byte) error
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		st, gap, err := p.pushOnce(endpoint, raw)
+		st, gap, err := p.pushOnce(endpoint, body)
 		switch {
 		case gap != nil:
 			// The replica is missing versions ≤ ours: backfill in order
@@ -251,7 +376,7 @@ func (p *Publisher) pushTo(endpoint, name string, version int, raw []byte) error
 			if err := p.backfill(endpoint, name, gap.Watermark, version-1); err != nil {
 				return err
 			}
-			st, gap, err = p.pushOnce(endpoint, raw)
+			st, gap, err = p.pushOnce(endpoint, body)
 			switch {
 			case err == nil && gap == nil:
 				p.noteWatermark(endpoint, name, st.Watermark)
@@ -285,11 +410,11 @@ func (p *Publisher) backfill(endpoint, name string, watermark, to int) error {
 		if !ok {
 			return fmt.Errorf("replica: backfill %s@v%d: not in source store", name, v)
 		}
-		raw, err := bundle.Encode()
+		body, err := p.encodePush(bundle)
 		if err != nil {
 			return err
 		}
-		st, gap, err := p.pushOnce(endpoint, raw)
+		st, gap, err := p.pushOnce(endpoint, body)
 		if err != nil {
 			return fmt.Errorf("replica: backfill %s@v%d to %s: %w", name, v, endpoint, err)
 		}
@@ -314,13 +439,33 @@ func isPermanent(err error) bool {
 
 // pushOnce performs a single POST /push. It returns the decoded status
 // on success, the gap report on a version-gap 409, or an error.
-func (p *Publisher) pushOnce(endpoint string, raw []byte) (PushStatus, *gapResponse, error) {
-	resp, err := p.client.Post(endpoint+"/push", "application/octet-stream", bytes.NewReader(raw))
+func (p *Publisher) pushOnce(endpoint string, body pushBody) (PushStatus, *gapResponse, error) {
+	payload := body.raw
+	encoding := ""
+	if body.gz != nil {
+		payload, encoding = body.gz, "gzip"
+	}
+	req, err := http.NewRequest(http.MethodPost, endpoint+"/push", bytes.NewReader(payload))
+	if err != nil {
+		return PushStatus{}, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	if p.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+p.authToken)
+	}
+	resp, err := p.client.Do(req)
 	if err != nil {
 		return PushStatus{}, nil, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
+	case http.StatusUnauthorized:
+		// Wrong or missing shared secret: retrying with the same token
+		// cannot help.
+		return PushStatus{}, nil, &permanentError{msg: "replica rejected push: " + readError(resp.Body)}
 	case http.StatusOK:
 		st, err := decodeStatus(resp.Body)
 		return st, nil, err

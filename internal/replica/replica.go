@@ -30,9 +30,22 @@
 // /push mutates them, and application happens under the store's write
 // lock, so a concurrent /predict sees either the old set of releases or
 // the new one, never a half-applied bundle.
+//
+// Two wire-level options harden and cheapen the push path. /push can be
+// gated behind a shared-secret bearer token (WithAuthToken on the
+// server, the matching option on the Publisher): the mutating endpoint
+// then rejects unauthenticated bodies with 401 before reading them,
+// while the read API stays open. And push bodies may be gzip-compressed
+// (Content-Encoding: gzip, the publisher's default for bodies past a
+// small threshold) — wide released feature tables are highly
+// redundant, so compression cuts fan-out bandwidth by integer factors;
+// the replica decompresses transparently and enforces the same
+// decoded-size cap as for identity bodies.
 package replica
 
 import (
+	"compress/gzip"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -83,13 +96,31 @@ type gapResponse struct {
 type Server struct {
 	store *store.Store
 	srv   *store.Server
+	// authToken, when non-empty, gates POST /push behind
+	// "Authorization: Bearer <token>".
+	authToken string
+}
+
+// ServerOption configures a replica server.
+type ServerOption func(*Server)
+
+// WithAuthToken requires pushes to carry "Authorization: Bearer tok".
+// An empty token leaves /push open (the default, for in-process tests
+// and trusted networks). Only the mutating endpoint is gated; the read
+// API a replica exists to serve stays public.
+func WithAuthToken(tok string) ServerOption {
+	return func(s *Server) { s.authToken = tok }
 }
 
 // NewServer returns an empty replica. It serves nothing until a
 // publisher pushes bundles into it.
-func NewServer() *Server {
+func NewServer(opts ...ServerOption) *Server {
 	st := store.New()
-	return &Server{store: st, srv: store.NewServer(st)}
+	s := &Server{store: st, srv: store.NewServer(st)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Store exposes the replica's local store (tests and diagnostics; the
@@ -106,10 +137,43 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// authorized checks the shared-secret bearer token in constant time.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.authToken == "" {
+		return true
+	}
+	got := r.Header.Get("Authorization")
+	want := "Bearer " + s.authToken
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBodyBytes))
+	if !s.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="sage-replica"`)
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "push requires a valid bearer token"})
+		return
+	}
+	// The byte cap applies to the *decoded* bundle: MaxBytesReader
+	// bounds what is read off the wire, and for gzip bodies an extra
+	// LimitReader bounds what decompression may expand to, so a
+	// compression bomb cannot pin unbounded memory.
+	body := io.Reader(http.MaxBytesReader(w, r.Body, maxPushBodyBytes))
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad gzip body: " + err.Error()})
+			return
+		}
+		defer gz.Close()
+		body = io.LimitReader(gz, maxPushBodyBytes+1)
+	}
+	raw, err := io.ReadAll(body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading bundle: " + err.Error()})
+		return
+	}
+	if int64(len(raw)) > maxPushBodyBytes {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bundle exceeds size limit after decompression"})
 		return
 	}
 	b, err := store.DecodeBundle(raw)

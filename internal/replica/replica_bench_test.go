@@ -180,3 +180,57 @@ func BenchmarkReplicaProvenance(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
+
+// BenchmarkBundlePushWide pushes a wide-feature-table bundle (80K table
+// entries) and reports the wire bytes per push with gzip compression on
+// (the default) versus off. The benchmark doubles as the compression
+// satellite's size-reduction gate: it fails outright if the compressed
+// body is not at least 2x smaller than the identity body.
+func BenchmarkBundlePushWide(b *testing.B) {
+	makeSrc := func() *store.Store {
+		src := store.New()
+		src.Publish(wideBundle(0))
+		return src
+	}
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{name: "gzip"},
+		{name: "identity", opts: []Option{WithoutCompression()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var wireBytes int64
+			rep := NewServer()
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/push" {
+					wireBytes = r.ContentLength
+				}
+				rep.Handler().ServeHTTP(w, r)
+			}))
+			defer srv.Close()
+			src := makeSrc()
+			opts := append([]Option{WithClient(srv.Client()), WithRetry(1, time.Millisecond)}, mode.opts...)
+			pub := NewPublisher(src, []string{srv.URL}, opts...)
+			if err := pub.Push("wide", 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pub.Push("wide", 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(wireBytes), "wire_bytes/op")
+			bundle, _ := src.Get("wide", 1)
+			raw, err := bundle.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode.name == "gzip" && wireBytes > int64(len(raw))/2 {
+				b.Fatalf("gzip wire bytes %d not < half of encoded %d — compression regressed", wireBytes, len(raw))
+			}
+		})
+	}
+}

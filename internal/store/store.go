@@ -175,15 +175,16 @@ func DecodeBundle(raw []byte) (*Bundle, error) {
 	return &b, nil
 }
 
-// Digest returns a content digest over the bundle's canonical
-// serialization (internal/core's audit encoding: fixed field order,
-// sorted feature keys, IEEE-754 bit patterns). The gob wire encoding
-// cannot serve this role — it walks the feature map in iteration order,
-// so re-encoding the same bundle yields different bytes. Replica push
-// uses the digest for idempotency: a re-push of an already-applied
-// (name, version) is accepted iff the digests match, so a divergent
-// bundle can never silently overwrite a release.
-func (b *Bundle) Digest() [sha256.Size]byte {
+// CanonicalBytes returns the bundle's canonical serialization
+// (internal/core's audit encoding: fixed field order, sorted feature
+// keys, IEEE-754 bit patterns). Two bundles are the same release iff
+// their canonical bytes are equal, and the serialization is invertible
+// (DecodeCanonicalBundle), so the same bytes serve three roles: the
+// content digest replica push verifies, the payload the write-ahead log
+// journals for each publish (the WAL record's checksum therefore covers
+// exactly the bytes the push digest covers), and the record replay
+// decodes during crash recovery.
+func (b *Bundle) CanonicalBytes() []byte {
 	buf := core.AppendString(nil, b.Name)
 	buf = core.AppendUint(buf, uint64(b.Version))
 	buf = core.AppendString(buf, b.Model.Kind)
@@ -195,13 +196,81 @@ func (b *Bundle) Digest() [sha256.Size]byte {
 		buf = core.AppendUint(buf, uint64(h))
 	}
 	buf = core.AppendFloats(buf, b.Model.Params)
-	for _, k := range b.FeatureKeys() {
+	keys := b.FeatureKeys()
+	buf = core.AppendUint(buf, uint64(len(keys)))
+	for _, k := range keys {
 		buf = core.AppendString(buf, k)
 		buf = core.AppendFloats(buf, b.Features[k])
 	}
 	p := b.Provenance
-	buf = core.AppendProvenance(buf, p.Pipeline, p.Spent, p.Blocks, p.Decision, p.Quality)
-	return sha256.Sum256(buf)
+	return core.AppendProvenance(buf, p.Pipeline, p.Spent, p.Blocks, p.Decision, p.Quality)
+}
+
+// DecodeCanonicalBundle inverts CanonicalBytes. The write-ahead log's
+// recovery path uses it to reconstruct released bundles from journal
+// records.
+func DecodeCanonicalBundle(raw []byte) (*Bundle, error) {
+	c := core.NewCursor(raw)
+	var b Bundle
+	b.Name = c.String()
+	b.Version = int(c.Uint())
+	b.Model.Kind = c.String()
+	b.Model.Weights = c.Floats()
+	b.Model.Bias = c.Float()
+	b.Model.Dim = int(c.Uint())
+	nHidden := c.Uint()
+	if c.Err() == nil && nHidden > 0 {
+		// Bound before allocating (divide — int(nHidden)*8 on a damaged
+		// length field overflows).
+		if nHidden > uint64(c.Remaining())/8 {
+			return nil, fmt.Errorf("store: canonical bundle: truncated hidden sizes")
+		}
+		b.Model.Hidden = make([]int, nHidden)
+		for i := range b.Model.Hidden {
+			b.Model.Hidden[i] = int(c.Uint())
+		}
+	}
+	b.Model.Params = c.Floats()
+	nFeatures := c.Uint()
+	if c.Err() == nil && nFeatures > 0 {
+		// Each feature needs at least a length-prefixed key and table,
+		// so the count cannot exceed the remaining bytes / 16; a
+		// damaged count must not size the map allocation.
+		if nFeatures > uint64(c.Remaining())/16 {
+			return nil, fmt.Errorf("store: canonical bundle: feature count %d exceeds payload", nFeatures)
+		}
+		b.Features = make(map[string][]float64, nFeatures)
+		for i := uint64(0); i < nFeatures && c.Err() == nil; i++ {
+			k := c.String()
+			b.Features[k] = c.Floats()
+		}
+	}
+	b.Provenance.Pipeline = c.String()
+	b.Provenance.Spent.Epsilon = c.Float()
+	b.Provenance.Spent.Delta = c.Float()
+	b.Provenance.Blocks = c.BlockIDs()
+	b.Provenance.Decision = c.String()
+	b.Provenance.Quality = c.Float()
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("store: canonical bundle: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("store: canonical bundle: %d trailing bytes", c.Remaining())
+	}
+	return &b, nil
+}
+
+// Digest returns a content digest over the bundle's canonical
+// serialization. The gob wire encoding cannot serve this role — it
+// walks the feature map in iteration order, so re-encoding the same
+// bundle yields different bytes. Replica push uses the digest for
+// idempotency: a re-push of an already-applied (name, version) is
+// accepted iff the digests match, so a divergent bundle can never
+// silently overwrite a release. Because the WAL journals exactly
+// CanonicalBytes, a journaled release's digest is the digest replicas
+// verified.
+func (b *Bundle) Digest() [sha256.Size]byte {
+	return sha256.Sum256(b.CanonicalBytes())
 }
 
 // Store is the in-memory wide-access model & feature store. It is safe
@@ -214,6 +283,45 @@ type Store struct {
 	// until the store changes, at which point g stops matching and the
 	// entry is rebuilt on next use.
 	gen uint64
+	// journal, when set (SetJournal), receives every new release's
+	// canonical bytes before the release is applied or acknowledged —
+	// the store half of the durable platform core.
+	journal func(canonical []byte) error
+}
+
+// SetJournal installs the write-ahead journal: every release that
+// enters the store (Publish or a first-time Apply) has its canonical
+// bytes journaled, under the store lock, before the release is visible
+// or acknowledged. Install it *after* replaying recovered releases —
+// recovery applies them through the same public methods, and a set
+// journal would re-journal them. A journal failure fails the mutation:
+// Apply returns the error; Publish, which has no error return, panics —
+// a durable store that cannot journal must stop taking releases rather
+// than diverge from its log.
+func (s *Store) SetJournal(journal func(canonical []byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = journal
+}
+
+// SnapshotBundles returns every release's canonical bytes, names
+// sorted, versions ascending — the record set a WAL compaction replaces
+// the store's journal history with.
+func (s *Store) SnapshotBundles() [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.bundles))
+	for name := range s.bundles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out [][]byte
+	for _, name := range names {
+		for _, b := range s.bundles[name] {
+			out = append(out, b.CanonicalBytes())
+		}
+	}
+	return out
 }
 
 // New returns an empty store.
@@ -244,12 +352,21 @@ func (b Bundle) deepCopy() *Bundle {
 // deep copy: a published bundle is a *release* — immutable by the threat
 // model (§2.2) — so later mutation of the caller's feature map or
 // parameter slices must not rewrite what auditors and servers see.
+// With a journal installed the release is journaled (canonical bytes,
+// version included) before it becomes visible; a journal failure
+// panics, since Publish cannot report it and must not acknowledge an
+// unjournaled release.
 func (s *Store) Publish(b Bundle) int {
 	stored := b.deepCopy()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	versions := s.bundles[b.Name]
 	stored.Version = len(versions) + 1
+	if s.journal != nil {
+		if err := s.journal(stored.CanonicalBytes()); err != nil {
+			panic(fmt.Errorf("store: journal publish %s@v%d: %w", stored.Name, stored.Version, err))
+		}
+	}
 	s.bundles[b.Name] = append(versions, stored)
 	s.gen++
 	return stored.Version
@@ -316,7 +433,13 @@ func (s *Store) Apply(b Bundle) (applied bool, err error) {
 		}
 		return false, nil
 	case b.Version == len(versions)+1:
-		s.bundles[b.Name] = append(versions, b.deepCopy())
+		stored := b.deepCopy()
+		if s.journal != nil {
+			if err := s.journal(stored.CanonicalBytes()); err != nil {
+				return false, fmt.Errorf("store: journal apply %s@v%d: %w", stored.Name, stored.Version, err)
+			}
+		}
+		s.bundles[b.Name] = append(versions, stored)
 		s.gen++
 		return true, nil
 	default:

@@ -1,0 +1,350 @@
+// Package wal implements the write-ahead log under Sage's durable
+// platform core. Every stateful layer of the platform — the privacy
+// ledger (core.AccessControl) and the model & feature store
+// (store.Store) — journals its mutations here *before* acknowledging
+// them, so a crash at any instant loses at most work that was never
+// acknowledged, never privacy spend that was. Recovery is replay: open
+// the log, apply the surviving records in order, and the process is
+// exactly where the last acknowledged operation left it.
+//
+// # Format
+//
+// The log is a single file of length-prefixed, checksummed records:
+//
+//	uint32 big-endian payload length
+//	byte   record type (opaque to this package)
+//	uint32 big-endian CRC-32C (Castagnoli) over type byte + payload
+//	payload
+//
+// # Crash consistency
+//
+// Appends write the whole frame with one write(2) call and (unless
+// Options.NoSync) fdatasync before returning, so an acknowledged append
+// is on disk. A crash mid-append leaves a torn tail: a partial header,
+// a partial payload, or a frame whose checksum does not match. Open
+// detects all three, truncates the file back to the last intact record
+// boundary, and reports the dropped bytes in Stats — replay never sees
+// a half-written record, and the log is immediately appendable again.
+// Corruption is treated as tail damage: the first bad frame ends
+// recovery, and everything after it is discarded. That is the right
+// semantics for a journal whose only writer appends (the only expected
+// damage is at the end), and it is what makes the ledger's
+// crash-consistency argument go through: the surviving records are
+// always a *prefix* of the acknowledged-or-in-flight operations.
+//
+// # Compaction
+//
+// An append-only journal grows forever; Compact rewrites it as a
+// snapshot. The caller provides the records that reconstruct current
+// state (for the ledger, one snapshot record; for the store, one record
+// per bundle); Compact writes them to a temporary file in the same
+// directory, syncs it, and atomically renames it over the log. A crash
+// at any point leaves either the old log or the new one, never a mix —
+// rename(2) on the same filesystem is atomic. Compact requires the same
+// single-writer discipline as Append: the caller must ensure no
+// concurrent appends race the rewrite, or they would be lost with it.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// headerSize is the fixed frame prefix: length (4) + type (1) + crc (4).
+const headerSize = 9
+
+// MaxRecordBytes bounds one record's payload (64 MiB — comfortably
+// above the largest bundle the replica tier accepts). A scanned length
+// beyond it is treated as corruption, so a damaged length field cannot
+// make recovery attempt a multi-gigabyte allocation.
+const MaxRecordBytes = 64 << 20
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled entry: a type byte the client dispatches on
+// and an opaque payload.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Options configures a log.
+type Options struct {
+	// NoSync disables the per-append fdatasync. Throughput rises by
+	// orders of magnitude, durability drops to "whatever the OS flushed
+	// before the crash" — recovery still sees a valid prefix (the torn-
+	// tail scan handles partially-flushed frames), it may just be an
+	// older one. Tests and benchmarks use it; a production daemon must
+	// not.
+	NoSync bool
+}
+
+// Stats reports what Open found.
+type Stats struct {
+	// Records is the number of intact records recovered.
+	Records int
+	// TornBytes counts bytes dropped from the tail: a partial frame
+	// from a crash mid-append, or a frame whose checksum failed.
+	TornBytes int64
+	// Truncated is true when a torn or corrupt tail was cut off.
+	Truncated bool
+}
+
+// Log is an append-only write-ahead log. Append and Compact are
+// mutually excluded by an internal lock, but the single-writer
+// discipline documented on Compact still applies: compaction snapshots
+// state that appends mutate, so the two must be externally ordered.
+type Log struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	size   int64
+	count  int
+	noSync bool
+	stats  Stats
+}
+
+// Open opens (creating if absent) the log at path, scans it, truncates
+// any torn or corrupt tail, and returns the surviving records in append
+// order. The returned log is positioned for appending.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	// A leftover compaction temp file means a crash hit between writing
+	// the replacement and renaming it; the rename never happened, so the
+	// original log is authoritative and the temp is garbage.
+	_ = os.Remove(compactPath(path))
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	records, offsets := scan(raw)
+	good := offsets[len(offsets)-1]
+	l := &Log{
+		path:   path,
+		f:      f,
+		size:   good,
+		count:  len(records),
+		noSync: opts.NoSync,
+		stats: Stats{
+			Records:   len(records),
+			TornBytes: int64(len(raw)) - good,
+			Truncated: good < int64(len(raw)),
+		},
+	}
+	if l.stats.Truncated {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return l, records, nil
+}
+
+// scan walks raw and returns the intact records plus every record
+// *boundary*: offsets[0] = 0 and offsets[k] is the offset just past
+// record k-1, so offsets[len(records)] is where the valid prefix ends.
+// Scanning stops at the first torn or corrupt frame; everything after
+// it is tail damage by the package's crash model.
+func scan(raw []byte) ([]Record, []int64) {
+	var records []Record
+	offsets := []int64{0}
+	off := int64(0)
+	for {
+		rest := raw[off:]
+		if len(rest) < headerSize {
+			return records, offsets
+		}
+		n := int64(binary.BigEndian.Uint32(rest))
+		if n > MaxRecordBytes || int64(len(rest)) < headerSize+n {
+			return records, offsets
+		}
+		typ := rest[4]
+		sum := binary.BigEndian.Uint32(rest[5:9])
+		payload := rest[headerSize : headerSize+n]
+		crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
+		if crc != sum {
+			return records, offsets
+		}
+		records = append(records, Record{Type: typ, Payload: append([]byte(nil), payload...)})
+		off += headerSize + n
+		offsets = append(offsets, off)
+	}
+}
+
+// RecordOffsets scans the log file at path and returns the byte offset
+// of every intact record boundary (see scan): truncating the file at
+// offsets[k] yields exactly the first k records. Fault-injection tests
+// and recovery tooling use it to cut logs at precise points.
+func RecordOffsets(path string) ([]int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	_, offsets := scan(raw)
+	return offsets, nil
+}
+
+// Stats returns what Open found (recovered record count, torn bytes).
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the log's current byte length.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the number of records in the log (recovered plus
+// appended since open, minus those rewritten away by Compact).
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Append journals one record: frame it, write it with a single write
+// call, and (unless NoSync) sync before returning. When Append returns
+// nil the record will survive any subsequent crash; on error the caller
+// must not acknowledge the operation it was journaling.
+func (l *Log) Append(typ byte, payload []byte) error {
+	if int64(len(payload)) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), int64(MaxRecordBytes))
+	}
+	frame := appendFrame(make([]byte, 0, headerSize+len(payload)), typ, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: append to closed log %s", l.path)
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append to %s: %w", l.path, err)
+	}
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", l.path, err)
+		}
+	}
+	l.size += int64(len(frame))
+	l.count++
+	return nil
+}
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, typ)
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
+	dst = binary.BigEndian.AppendUint32(dst, crc)
+	return append(dst, payload...)
+}
+
+// compactPath is the temporary file Compact stages the rewrite in.
+func compactPath(path string) string { return path + ".compact" }
+
+// Compact atomically replaces the log's contents with the given
+// records — the snapshot+truncate step that keeps recovery time bounded.
+// The replacement is staged in a temp file, synced, and renamed over
+// the log; a crash leaves either the complete old log or the complete
+// new one. The caller must guarantee the records capture all state the
+// discarded log entries produced, and that no append races the call.
+func (l *Log) Compact(records []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: compact closed log %s", l.path)
+	}
+	tmpPath := compactPath(l.path)
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact %s: %w", l.path, err)
+	}
+	var buf []byte
+	for _, r := range records {
+		if int64(len(r.Payload)) > MaxRecordBytes {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("wal: compact %s: record of %d bytes exceeds limit", l.path, len(r.Payload))
+		}
+		buf = appendFrame(buf, r.Type, r.Payload)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: compact %s: write: %w", l.path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: compact %s: sync: %w", l.path, err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: compact %s: rename: %w", l.path, err)
+	}
+	// The rename is the commit point. Sync the directory so the new
+	// name itself survives a crash (best-effort: not all platforms allow
+	// syncing directories).
+	if dir, err := os.Open(filepath.Dir(l.path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	old := l.f
+	l.f = tmp
+	old.Close()
+	l.size = int64(len(buf))
+	l.count = len(records)
+	return nil
+}
+
+// Sync flushes the log to stable storage. Useful with NoSync to place
+// explicit durability points (group commit).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

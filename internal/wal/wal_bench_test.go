@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the journaling cost the durable platform
+// adds to every acknowledged ledger/store mutation. NoSync variants
+// isolate the framing+write cost (the number group commit would
+// amortize toward); the sync variant pays the real fdatasync and is
+// hardware-bound, so only the NoSync numbers are committed as the
+// BENCH_wal.json regression baseline.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, size := range []int{64, 256, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			l, _, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppendSync includes the per-append fdatasync a production
+// daemon pays; the absolute number is storage-hardware-bound and not
+// part of the regression gate.
+func BenchmarkWALAppendSync(b *testing.B) {
+	l, _, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALCompact(b *testing.B) {
+	l, _, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	records := make([]Record, 64)
+	for i := range records {
+		records[i] = Record{Type: 1, Payload: make([]byte, 1024)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Compact(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
