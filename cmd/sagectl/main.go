@@ -12,6 +12,7 @@
 //	sagectl serve [-addr :8080] [-feature-eps 0.1] [-push http://r1:8081,http://r2:8081] [-push-token T] [ledger flags]
 //	sagectl replica [-addr :8081] [-push-token T]
 //	sagectl daemon [-wal ./sage-wal] [-addr :8080] [-tick 1s] [-retention N] [-push ...] [-push-token T]
+//	sagectl gateway [-addr :8090] [-backends http://r1:8081,http://r2:8081] [-from http://daemon:8080] [-attempt-timeout 10s]
 //
 // In serve mode, accepted pipelines are published as bundles — model,
 // the DP per-hour speed table (Listing 1's aggregate feature), and
@@ -32,6 +33,13 @@
 //	POST /push              receive one encoded bundle (publisher-only)
 //	GET  /replica/status    applied-version watermarks per model
 //
+// Gateway mode (internal/gateway) fronts a replica fleet with one
+// fault-tolerant endpoint: health-checked least-loaded routing with
+// automatic failover, per-replica circuit breakers, watermark-lag
+// draining, and admission control that sheds expensive batch work first
+// under overload. Replica membership comes from -backends, from a
+// running daemon's /daemon/status (-from), or both.
+//
 // Daemon mode is the platform as the paper operates it: a continuous
 // loop (internal/daemon) that ingests stream blocks, trains when budget
 // allows, publishes, pushes to replicas, and retires blocks by
@@ -46,12 +54,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -61,6 +72,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/data"
+	"repro/internal/gateway"
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
 	"repro/internal/replica"
@@ -94,6 +106,15 @@ type options struct {
 	eps0         float64
 	epsCap       float64
 	noSync       bool
+	drain        time.Duration
+	// gateway-only.
+	backends        string
+	from            string
+	attemptTimeout  time.Duration
+	healthInterval  time.Duration
+	lagVersions     int
+	breakerFails    int
+	breakerCooldown time.Duration
 }
 
 func main() {
@@ -101,7 +122,7 @@ func main() {
 	mode := "ledger"
 	if len(args) > 0 {
 		switch args[0] {
-		case "ledger", "serve", "replica", "daemon":
+		case "ledger", "serve", "replica", "daemon", "gateway":
 			mode = args[0]
 			args = args[1:]
 		}
@@ -139,13 +160,31 @@ func main() {
 		fs.StringVar(&opt.push, "push", "", "comma-separated replica base URLs to push accepted bundles to")
 		fs.StringVar(&opt.pushToken, "push-token", "", "bearer token sent with every push")
 		fs.BoolVar(&opt.noSync, "no-sync", false, "disable per-append fsync (tests only: crash durability drops to what the OS flushed)")
+		fs.DurationVar(&opt.drain, "drain", 30*time.Second, "bound on the final replica sync during graceful shutdown (0 = unbounded)")
+	case "gateway":
+		fs.StringVar(&opt.addr, "addr", ":8090", "HTTP listen address for the gateway")
+		fs.StringVar(&opt.backends, "backends", "", "comma-separated replica base URLs to route over")
+		fs.StringVar(&opt.from, "from", "", "daemon base URL to bootstrap replica membership from (GET /daemon/status)")
+		fs.DurationVar(&opt.attemptTimeout, "attempt-timeout", 10*time.Second, "deadline for one proxied attempt (a failed-over request pays at most two)")
+		fs.DurationVar(&opt.healthInterval, "health-interval", 2*time.Second, "active health-probe period")
+		fs.IntVar(&opt.lagVersions, "lag-versions", 2, "drain a replica whose applied watermark trails the fleet by more than this many versions")
+		fs.IntVar(&opt.breakerFails, "breaker-failures", 5, "consecutive failures that open a replica's circuit breaker")
+		fs.DurationVar(&opt.breakerCooldown, "breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 	}
 	_ = fs.Parse(args)
 
-	// A replica never trains: it has no budget, no stream, no pipelines —
-	// only what the publisher pushes into it.
-	if mode == "replica" {
+	// Replicas and gateways never train: they have no budget, no stream,
+	// no pipelines — replicas serve what the publisher pushes into them,
+	// gateways route over replicas.
+	switch mode {
+	case "replica":
 		if err := runReplica(opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "gateway":
+		if err := runGateway(opt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -211,6 +250,7 @@ func runDaemon(opt options, budget privacy.Budget) error {
 		MaxTicks:      opt.maxTicks,
 		CompactEvery:  opt.compactEvery,
 		NoSync:        opt.noSync,
+		DrainTimeout:  opt.drain,
 		PushEndpoints: splitEndpoints(opt.push),
 		PushToken:     opt.pushToken,
 		Logf: func(format string, args ...any) {
@@ -237,7 +277,7 @@ func runDaemon(opt options, budget privacy.Budget) error {
 	}
 	// The e2e harness parses this line to find the bound port.
 	fmt.Printf("daemon: serving on %s (wal %s)\n", lis.Addr(), opt.walDir)
-	srv := &http.Server{Handler: d.Handler()}
+	srv := newHTTPServer("", d.Handler())
 	go func() { _ = srv.Serve(lis) }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -251,6 +291,98 @@ func runDaemon(opt options, budget privacy.Budget) error {
 		fmt.Println("daemon: drained cleanly")
 	}
 	return runErr
+}
+
+// newHTTPServer wraps a handler in an http.Server hardened against slow
+// or stuck clients: a connection that trickles its headers, never sends
+// its body, or never reads its response is bounded instead of pinning a
+// goroutine and its buffers forever. Every sagectl listener goes
+// through here (the gateway additionally bounds each *upstream* attempt
+// with its own deadline).
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// runGateway fronts a replica fleet with the fault-tolerant routing
+// tier. Membership is the union of -backends and, with -from, the
+// replica endpoints a running daemon reports in /daemon/status.
+func runGateway(opt options) error {
+	backends := splitEndpoints(opt.backends)
+	if opt.from != "" {
+		discovered, err := fetchMembership(opt.from)
+		if err != nil {
+			return fmt.Errorf("sagectl: discovering replicas from %s: %w", opt.from, err)
+		}
+		fmt.Printf("gateway: discovered %d replica(s) from %s\n", len(discovered), opt.from)
+		backends = append(backends, discovered...)
+	}
+	seen := make(map[string]bool, len(backends))
+	uniq := backends[:0]
+	for _, b := range backends {
+		if b != "" && !seen[b] {
+			seen[b] = true
+			uniq = append(uniq, b)
+		}
+	}
+	g, err := gateway.New(gateway.Config{
+		Backends:       uniq,
+		AttemptTimeout: opt.attemptTimeout,
+		HealthInterval: opt.healthInterval,
+		LagVersions:    opt.lagVersions,
+		Breaker: gateway.BreakerConfig{
+			FailThreshold: opt.breakerFails,
+			Cooldown:      opt.breakerCooldown,
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	g.Start()
+	defer g.Stop()
+
+	base := opt.addr
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	fmt.Printf("gateway on %s over %d replica(s): %s\n", opt.addr, len(uniq), strings.Join(uniq, ", "))
+	fmt.Printf("  curl %s/gateway/status\n", base)
+	fmt.Printf("  curl %s/models\n", base)
+	return newHTTPServer(opt.addr, g.Handler()).ListenAndServe()
+}
+
+// fetchMembership reads the replica endpoints a daemon is pushing to.
+func fetchMembership(daemonURL string) ([]string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(daemonURL, "/") + "/daemon/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("daemon status: HTTP %d", resp.StatusCode)
+	}
+	var st struct {
+		Replicas map[string]map[string]int `json:"replicas"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&st); err != nil {
+		return nil, err
+	}
+	eps := make([]string, 0, len(st.Replicas))
+	for ep := range st.Replicas {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	return eps, nil
 }
 
 // splitEndpoints parses the -push list.
@@ -370,7 +502,7 @@ func runReplica(opt options) error {
 		fmt.Println("  (POST /push requires the shared bearer token)")
 		sopts = append(sopts, replica.WithAuthToken(opt.pushToken))
 	}
-	return http.ListenAndServe(opt.addr, replica.NewServer(sopts...).Handler())
+	return newHTTPServer(opt.addr, replica.NewServer(sopts...).Handler()).ListenAndServe()
 }
 
 // runServe publishes accepted pipelines into the model & feature store
@@ -510,5 +642,5 @@ func runServe(opt options, budget privacy.Budget) error {
 	fmt.Printf("  curl %s/models/taxi-lr-0/provenance\n", base)
 	fmt.Printf("  curl %s/features'?model=taxi-lr-0&key=hour_speed&index=8'\n", base)
 	fmt.Printf("  curl -X POST %s/predict/batch'?model=taxi-lr-0' -d '{\"rows\":[[...48 features...]]}'\n", base)
-	return http.ListenAndServe(opt.addr, store.NewServer(st).Handler())
+	return newHTTPServer(opt.addr, store.NewServer(st).Handler()).ListenAndServe()
 }

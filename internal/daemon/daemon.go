@@ -124,6 +124,16 @@ type Config struct {
 	CompactEvery int
 	// NoSync disables per-append fsync (tests only).
 	NoSync bool
+	// DrainTimeout bounds the final replica sync during Close (0 = no
+	// bound). A graceful shutdown should drain the tier — push every
+	// straggler its missing releases — but an unreachable replica must
+	// not park the daemon inside the publisher's full retry schedule:
+	// past the deadline the sync is cut short and the replica converges
+	// via self-healing on the next daemon start (or its gateway keeps it
+	// drained until it catches up). Shutdown ordering stays
+	// sync-then-close so replicas are as current as possible the moment
+	// the WAL seals.
+	DrainTimeout time.Duration
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -347,7 +357,13 @@ func (d *Daemon) Run(ctx context.Context) error {
 func (d *Daemon) Close() error {
 	d.closeOnce.Do(func() {
 		if d.pub != nil {
-			if err := d.pub.Sync(); err != nil {
+			ctx := context.Background()
+			if d.cfg.DrainTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, d.cfg.DrainTimeout)
+				defer cancel()
+			}
+			if err := d.pub.SyncContext(ctx); err != nil {
 				d.cfg.Logf("daemon: final replica sync: %v", err)
 			}
 		}

@@ -1,0 +1,281 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler answers 200 with a fixed body.
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = io.WriteString(w, body)
+	})
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp, raw, err
+}
+
+func TestHandlerPassAndError(t *testing.T) {
+	inj := New(1)
+	srv := httptest.NewServer(inj.Handler(okHandler("hello")))
+	defer srv.Close()
+
+	resp, body, err := get(t, srv.Client(), srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != "hello" {
+		t.Fatalf("clean pass: %v %v %q", err, resp, body)
+	}
+
+	inj.Set(Rule{Mode: Error})
+	resp, _, err = get(t, srv.Client(), srv.URL)
+	if err != nil || resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("error mode: err=%v status=%v", err, resp.StatusCode)
+	}
+
+	inj.Clear()
+	resp, body, err = get(t, srv.Client(), srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != "hello" {
+		t.Fatalf("after clear: %v %v %q", err, resp, body)
+	}
+}
+
+func TestHandlerReset(t *testing.T) {
+	inj := New(1)
+	inj.Set(Rule{Mode: Reset})
+	srv := httptest.NewServer(inj.Handler(okHandler("hello")))
+	defer srv.Close()
+
+	if _, _, err := get(t, srv.Client(), srv.URL); err == nil {
+		t.Fatal("reset mode: want a transport-level error, got a response")
+	}
+}
+
+func TestHandlerPartialBody(t *testing.T) {
+	inj := New(1)
+	inj.Set(Rule{Mode: Partial})
+	srv := httptest.NewServer(inj.Handler(okHandler(strings.Repeat("x", 4096))))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("partial mode should deliver headers: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("partial mode: want a truncated-body read error, got %d clean bytes", len(raw))
+	}
+	if len(raw) >= 4096 {
+		t.Fatalf("partial mode delivered the whole body (%d bytes)", len(raw))
+	}
+}
+
+func TestHandlerHangReleasedBySetAndByContext(t *testing.T) {
+	inj := New(1)
+	inj.Set(Rule{Mode: Hang})
+	srv := httptest.NewServer(inj.Handler(okHandler("hello")))
+	defer srv.Close()
+
+	// Healing the fault releases the in-flight hang and the request
+	// completes normally.
+	done := make(chan error, 1)
+	go func() {
+		resp, body, err := get(t, srv.Client(), srv.URL)
+		if err == nil && (resp.StatusCode != http.StatusOK || string(body) != "hello") {
+			err = errors.New("released hang answered wrong")
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	inj.Clear()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hang released by Clear: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang was not released by Clear")
+	}
+
+	// A client deadline cuts a hang short with a transport error.
+	inj.Set(Rule{Mode: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := srv.Client().Do(req); err == nil {
+		t.Fatal("hang with client deadline: want an error")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("hang held the request %v past its deadline", d)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	inj := New(1)
+	inj.Set(Rule{Mode: Pass, Latency: 80 * time.Millisecond})
+	srv := httptest.NewServer(inj.Handler(okHandler("hello")))
+	defer srv.Close()
+
+	start := time.Now()
+	if _, _, err := get(t, srv.Client(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("latency rule added only %v", d)
+	}
+}
+
+func TestRulePredicatesFirstEveryAndMatch(t *testing.T) {
+	inj := New(1)
+	inj.Set(
+		Rule{Method: http.MethodPost, Path: "/push", Mode: Error, First: 2},
+		Rule{Path: "/flaky", Mode: Error, Every: 3},
+	)
+	srv := httptest.NewServer(inj.Handler(okHandler("ok")))
+	defer srv.Close()
+
+	// First 2 POST /push fail, the 3rd passes; GETs never match.
+	for i, want := range []int{500, 500, 200} {
+		resp, err := srv.Client().Post(srv.URL+"/push", "text/plain", strings.NewReader("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("push %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+	resp, _, err := get(t, srv.Client(), srv.URL+"/push-status")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET must not match the POST rule: %v %v", err, resp)
+	}
+
+	// Every=3 fires on matches 1, 4, 7, ...
+	var got []int
+	for i := 0; i < 6; i++ {
+		resp, _, err := get(t, srv.Client(), srv.URL+"/flaky")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, resp.StatusCode)
+	}
+	want := []int{500, 200, 200, 500, 200, 200}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("every-3 rule: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSeededDeterminism pins the seeded-deterministic contract: two
+// injectors with the same seed make identical probabilistic decisions
+// for the same request order, and a different seed diverges.
+func TestSeededDeterminism(t *testing.T) {
+	decisions := func(seed uint64) []int {
+		inj := New(seed)
+		inj.Set(Rule{Mode: Error, P: 0.5})
+		srv := httptest.NewServer(inj.Handler(okHandler("ok")))
+		defer srv.Close()
+		var out []int
+		for i := 0; i < 64; i++ {
+			resp, err := srv.Client().Get(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			out = append(out, resp.StatusCode)
+		}
+		return out
+	}
+	a, b, c := decisions(42), decisions(42), decisions(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-request decision sequences")
+	}
+}
+
+func TestTransportModes(t *testing.T) {
+	srv := httptest.NewServer(okHandler(strings.Repeat("y", 4096)))
+	defer srv.Close()
+
+	inj := New(7)
+	client := &http.Client{Transport: inj.Transport(nil)}
+
+	// Error surfaces as a transport error tagged injected (url.Error
+	// wraps it; unwrap to check).
+	inj.Set(Rule{Mode: Error})
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("transport error mode: want an error")
+	}
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Fatalf("injected error not recognizable: %v", err)
+	}
+
+	// Hang respects the request context.
+	inj.Set(Rule{Mode: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("transport hang: want an error")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("transport hang outlived its context by %v", d)
+	}
+
+	// Partial truncates the body mid-read.
+	inj.Set(Rule{Mode: Partial})
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil || len(raw) >= 4096 {
+		t.Fatalf("transport partial: err=%v bytes=%d", err, len(raw))
+	}
+
+	// Clear restores clean passage.
+	inj.Clear()
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(raw) != 4096 {
+		t.Fatalf("after clear: err=%v bytes=%d", err, len(raw))
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("Fired() did not count the injected faults")
+	}
+}

@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Class buckets requests by cost for admission control. The gateway's
+// shed policy is cost-ordered: under pressure the expensive batch work
+// is refused first, the cheap immutable reads last — a platform that is
+// overloaded should degrade into a read-only cache, not collapse.
+type Class int
+
+const (
+	// ClassRead: immutable GETs (model list, provenance, feature
+	// tables, status) — cheap, often pre-encoded server-side.
+	ClassRead Class = iota
+	// ClassPredict: single-row POST /predict — one model evaluation.
+	ClassPredict
+	// ClassBatch: POST /predict/batch — up to thousands of rows per
+	// request, the most expensive thing the serving tier does.
+	ClassBatch
+	numClasses
+)
+
+// String names the class for status reports.
+func (c Class) String() string {
+	switch c {
+	case ClassRead:
+		return "read"
+	case ClassPredict:
+		return "predict"
+	case ClassBatch:
+		return "batch"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify buckets one request.
+func Classify(r *http.Request) Class {
+	if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/predict") {
+		if strings.HasPrefix(r.URL.Path, "/predict/batch") {
+			return ClassBatch
+		}
+		return ClassPredict
+	}
+	return ClassRead
+}
+
+// Limits bounds in-flight requests per class. Zero fields get defaults
+// sized so reads vastly outnumber batch work, mirroring their cost gap.
+type Limits struct {
+	Read    int // default 256
+	Predict int // default 128
+	Batch   int // default 16
+}
+
+func (l *Limits) applyDefaults() {
+	if l.Read <= 0 {
+		l.Read = 256
+	}
+	if l.Predict <= 0 {
+		l.Predict = 128
+	}
+	if l.Batch <= 0 {
+		l.Batch = 16
+	}
+}
+
+// admission is the gateway's load-shedding front door: a bounded
+// in-flight semaphore per route class, plus a global bound with a soft
+// threshold that sheds batch work early. Admission never queues — a
+// request either gets a slot now or is refused now (fast 503 +
+// Retry-After), so offered load beyond capacity cannot build an
+// unbounded queue whose latency collapses every class at once.
+type admission struct {
+	sems [numClasses]chan struct{}
+	// global counts all admitted in-flight requests; globalLimit is the
+	// sum of the class limits, batchSoft the fraction of it above which
+	// batch requests are shed even if their own class has room.
+	global      atomic.Int64
+	globalLimit int64
+	batchSoft   int64
+	shed        [numClasses]atomic.Int64
+}
+
+func newAdmission(l Limits) *admission {
+	l.applyDefaults()
+	a := &admission{}
+	a.sems[ClassRead] = make(chan struct{}, l.Read)
+	a.sems[ClassPredict] = make(chan struct{}, l.Predict)
+	a.sems[ClassBatch] = make(chan struct{}, l.Batch)
+	a.globalLimit = int64(l.Read + l.Predict + l.Batch)
+	// Shed-before-collapse ordering: once the gateway as a whole is ¾
+	// full, new batch work is refused so the remaining capacity keeps
+	// serving cheap reads and single predictions.
+	a.batchSoft = a.globalLimit * 3 / 4
+	return a
+}
+
+// admit tries to take an in-flight slot for class without blocking. On
+// success it returns a release func (call exactly once); on refusal it
+// returns ok=false and counts the shed.
+func (a *admission) admit(class Class) (release func(), ok bool) {
+	if a.global.Load() >= a.globalLimit ||
+		(class == ClassBatch && a.global.Load() >= a.batchSoft) {
+		a.shed[class].Add(1)
+		return nil, false
+	}
+	select {
+	case a.sems[class] <- struct{}{}:
+		a.global.Add(1)
+		return func() {
+			<-a.sems[class]
+			a.global.Add(-1)
+		}, true
+	default:
+		a.shed[class].Add(1)
+		return nil, false
+	}
+}
+
+// shedCounts snapshots the per-class shed counters.
+func (a *admission) shedCounts() map[string]int64 {
+	out := make(map[string]int64, int(numClasses))
+	for c := Class(0); c < numClasses; c++ {
+		out[c.String()] = a.shed[c].Load()
+	}
+	return out
+}

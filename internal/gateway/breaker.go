@@ -1,0 +1,140 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe request is allowed through;
+	// its outcome decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String names the state for status reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes one backend's circuit breaker.
+type BreakerConfig struct {
+	// FailThreshold is how many consecutive failures trip the breaker
+	// (default 5).
+	FailThreshold int
+	// Cooldown is how long an open breaker refuses traffic before
+	// letting one half-open probe through (default 5s).
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) applyDefaults() {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+}
+
+// Breaker is a per-backend circuit breaker: closed → open after
+// FailThreshold consecutive failures → half-open after Cooldown, where a
+// single probe request decides — success re-closes, failure re-opens for
+// another cooldown. Every Allow() == true must be paired with exactly
+// one Record(): the half-open probe slot is reserved by Allow and
+// released by Record.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a closed breaker. A zero config gets defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.applyDefaults()
+	return &Breaker{cfg: cfg, now: time.Now}
+}
+
+// Allow reports whether a request may proceed, transitioning
+// open → half-open once the cooldown has elapsed. In half-open, only the
+// single probe is admitted; concurrent requests are refused until the
+// probe's Record call settles the state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports one allowed request's outcome.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerOpen:
+		// A request admitted before the trip finished late; its outcome
+		// carries no new information about the now-open circuit.
+	}
+}
+
+// State reports the breaker's position (transitioning open → half-open
+// is left to Allow, so a quiescent open breaker reads as open even after
+// its cooldown elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

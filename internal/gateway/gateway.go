@@ -1,0 +1,536 @@
+// gateway.go implements the proxy itself: backend bookkeeping, health
+// probes, least-loaded routing with failover, and the HTTP surface.
+// The design rationale and fault model live in doc.go.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/replica"
+)
+
+const (
+	// maxRequestBytes bounds a buffered request body (bodies are
+	// buffered so a failed attempt can be replayed on another backend).
+	// The serving tier's own per-endpoint caps are far below this.
+	maxRequestBytes = 8 << 20
+	// maxResponseBytes bounds a buffered upstream response (buffered so
+	// completeness is verified before any byte reaches the client).
+	maxResponseBytes = 64 << 20
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Backends are replica base URLs (e.g. "http://10.0.0.7:8081").
+	Backends []string
+	// Transport performs upstream requests (default http.DefaultTransport;
+	// tests inject faulty transports).
+	Transport http.RoundTripper
+	// AttemptTimeout bounds one proxied attempt (default 10s). A request
+	// that fails over pays at most two attempts; the client's own
+	// context cancellation is propagated under the per-attempt deadline.
+	AttemptTimeout time.Duration
+	// HealthInterval is the active health-probe period (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one status probe (default min(HealthInterval, 1s)).
+	HealthTimeout time.Duration
+	// LagVersions drains a backend whose total applied-version watermark
+	// trails the fleet maximum by more than this many versions
+	// (default 2). Drained backends are routed around, not failed.
+	LagVersions int
+	// Breaker tunes the per-backend circuit breakers.
+	Breaker BreakerConfig
+	// Limits bounds per-class in-flight admission.
+	Limits Limits
+	// Logf receives state-transition lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = c.HealthInterval
+		if c.HealthTimeout > time.Second {
+			c.HealthTimeout = time.Second
+		}
+	}
+	if c.LagVersions <= 0 {
+		c.LagVersions = 2
+	}
+	c.Breaker.applyDefaults()
+	c.Limits.applyDefaults()
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// backend is one replica endpoint and the gateway's view of it.
+type backend struct {
+	url     string
+	breaker *Breaker
+	// inflight is this gateway's requests currently proxied to the
+	// backend — the least-loaded routing key.
+	inflight atomic.Int64
+	// down: the last health probe could not reach the backend.
+	down atomic.Bool
+	// draining: reachable but its watermarks trail the fleet (stale
+	// reads would violate the canonical-bytes invariant).
+	draining atomic.Bool
+	// applied is the backend's total applied-version watermark from the
+	// last successful probe.
+	applied atomic.Int64
+	// probed: at least one health probe has completed (until then the
+	// backend is assumed routable).
+	probed   atomic.Bool
+	requests atomic.Int64
+	failures atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (b *backend) noteError(err error) {
+	b.failures.Add(1)
+	b.mu.Lock()
+	b.lastErr = err.Error()
+	b.mu.Unlock()
+}
+
+func (b *backend) lastError() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// Gateway is the routing tier instance. Construct with New, optionally
+// Start the active health loop, and serve Handler().
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	adm      *admission
+	// rr breaks least-loaded ties round-robin.
+	rr         atomic.Uint64
+	proxied    atomic.Int64
+	retries    atomic.Int64
+	unroutable atomic.Int64
+
+	startOnce sync.Once
+	stop      context.CancelFunc
+	done      chan struct{}
+}
+
+// New returns a gateway over the given replica endpoints.
+func New(cfg Config) (*Gateway, error) {
+	cfg.applyDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	g := &Gateway{cfg: cfg, adm: newAdmission(cfg.Limits), done: make(chan struct{})}
+	for _, u := range cfg.Backends {
+		g.backends = append(g.backends, &backend{url: u, breaker: NewBreaker(cfg.Breaker)})
+	}
+	return g, nil
+}
+
+// Start runs one synchronous health-probe round (so routing decisions
+// are informed from the first request) and then begins the periodic
+// health loop. Idempotent.
+func (g *Gateway) Start() {
+	g.startOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		g.stop = cancel
+		g.probeAll(ctx)
+		go func() {
+			defer close(g.done)
+			ticker := time.NewTicker(g.cfg.HealthInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					g.probeAll(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the health loop (if started).
+func (g *Gateway) Stop() {
+	if g.stop != nil {
+		g.stop()
+		<-g.done
+	}
+}
+
+// probeAll health-checks every backend concurrently, then recomputes
+// fleet lag: reachable backends whose total applied watermark trails the
+// fleet max by more than LagVersions are drained until they catch up.
+func (g *Gateway) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+
+	// Fleet-lag pass. The newest watermark any live replica reports is
+	// the fleet's serving frontier; a backend behind it would serve
+	// stale (non-canonical) bytes.
+	fleetMax := int64(-1)
+	for _, b := range g.backends {
+		if !b.down.Load() && b.applied.Load() > fleetMax {
+			fleetMax = b.applied.Load()
+		}
+	}
+	if fleetMax < 0 {
+		return // whole fleet unreachable; nothing to compare against
+	}
+	for _, b := range g.backends {
+		if b.down.Load() {
+			continue
+		}
+		lagging := fleetMax-b.applied.Load() > int64(g.cfg.LagVersions)
+		if lagging != b.draining.Load() {
+			b.draining.Store(lagging)
+			if lagging {
+				g.cfg.Logf("gateway: draining %s (applied %d, fleet at %d)", b.url, b.applied.Load(), fleetMax)
+			} else {
+				g.cfg.Logf("gateway: %s caught up (applied %d), back in rotation", b.url, b.applied.Load())
+			}
+		}
+	}
+}
+
+// probe fetches one backend's replica status.
+func (g *Gateway) probe(ctx context.Context, b *backend) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/replica/status", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.cfg.Transport.RoundTrip(req)
+	if err != nil {
+		g.markDown(b, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.markDown(b, fmt.Errorf("status probe: HTTP %d", resp.StatusCode))
+		return
+	}
+	var st replica.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		g.markDown(b, fmt.Errorf("status probe: %w", err))
+		return
+	}
+	total := int64(0)
+	for _, wm := range st.Watermarks {
+		total += int64(wm)
+	}
+	b.applied.Store(total)
+	if b.down.Swap(false) {
+		g.cfg.Logf("gateway: %s is reachable again", b.url)
+	}
+	b.probed.Store(true)
+}
+
+func (g *Gateway) markDown(b *backend, err error) {
+	b.probed.Store(true)
+	if !b.down.Swap(true) {
+		g.cfg.Logf("gateway: %s is down: %v", b.url, err)
+	}
+	b.mu.Lock()
+	b.lastErr = err.Error()
+	b.mu.Unlock()
+}
+
+// pick chooses the next backend for one attempt: the least-loaded
+// routable backend (ties broken round-robin) whose breaker admits the
+// request. Health flags are advisory — if the strict pass leaves
+// nothing (every backend down or draining by a possibly-stale probe
+// view), a relaxed pass ignores them and lets the breakers, which are
+// fed by request truth, decide. A fleet is never 503'd into silence by
+// its own health checker.
+func (g *Gateway) pick(exclude map[*backend]bool) *backend {
+	for _, relaxed := range []bool{false, true} {
+		var candidates []*backend
+		for _, b := range g.backends {
+			if exclude[b] {
+				continue
+			}
+			if !relaxed && (b.down.Load() || b.draining.Load()) {
+				continue
+			}
+			candidates = append(candidates, b)
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		// Least-loaded first; stable ties resolved round-robin.
+		sort.SliceStable(candidates, func(i, j int) bool {
+			return candidates[i].inflight.Load() < candidates[j].inflight.Load()
+		})
+		minLoad := candidates[0].inflight.Load()
+		ties := 0
+		for ties < len(candidates) && candidates[ties].inflight.Load() == minLoad {
+			ties++
+		}
+		offset := int(g.rr.Add(1) % uint64(ties))
+		for i := 0; i < len(candidates); i++ {
+			b := candidates[(offset+i)%len(candidates)]
+			if b.breaker.Allow() {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns the gateway's HTTP surface: the proxied serving API
+// plus GET /gateway/status.
+func (g *Gateway) Handler() http.Handler { return g }
+
+// ServeHTTP implements the proxy: classify → admit (or shed) → pick a
+// backend → forward with a per-attempt deadline → on failure, fail over
+// once to a different backend.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/gateway/status":
+		writeJSON(w, http.StatusOK, g.Status())
+		return
+	case "/push":
+		// Mutations go publisher → replica directly; a load-balanced
+		// push would desynchronize the fleet.
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "push is a publisher-to-replica operation; the gateway only routes reads",
+		})
+		return
+	}
+
+	class := Classify(r)
+	release, ok := g.adm.admit(class)
+	if !ok {
+		// Shed fast: an immediate, honest "try later" beats a queued
+		// request that times out after pinning resources.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "gateway overloaded: " + class.String() + " request shed",
+		})
+		return
+	}
+	defer release()
+
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
+			return
+		}
+		if len(body) > maxRequestBytes {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body exceeds gateway limit"})
+			return
+		}
+	}
+
+	exclude := make(map[*backend]bool, 2)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		b := g.pick(exclude)
+		if b == nil {
+			break
+		}
+		exclude[b] = true
+		res, err := g.forward(r, b, body)
+		if err != nil {
+			b.breaker.Record(false)
+			b.noteError(err)
+			lastErr = fmt.Errorf("%s: %w", b.url, err)
+			g.retries.Add(1)
+			continue
+		}
+		if res.status >= http.StatusInternalServerError {
+			b.breaker.Record(false)
+			b.noteError(fmt.Errorf("HTTP %d", res.status))
+			if attempt == 0 {
+				lastErr = fmt.Errorf("%s: HTTP %d", b.url, res.status)
+				g.retries.Add(1)
+				continue
+			}
+			// Both attempts 5xx'd: relay the last reply rather than
+			// masking it.
+		} else {
+			b.breaker.Record(true)
+		}
+		copyHeader(w.Header(), res.header)
+		w.Header().Set("Content-Length", fmt.Sprint(len(res.body)))
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+		g.proxied.Add(1)
+		return
+	}
+	g.unroutable.Add(1)
+	msg := "no healthy replica available"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": msg})
+}
+
+// proxyResult is one complete, verified upstream response.
+type proxyResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward proxies one attempt to one backend under the per-attempt
+// deadline, buffering and length-verifying the response. An upstream
+// that delivers fewer bytes than it advertised is an error (the partial
+// response never reaches the client), as is one that out-sizes the
+// response cap.
+func (g *Gateway) forward(r *http.Request, b *backend, body []byte) (proxyResult, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.AttemptTimeout)
+	defer cancel()
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	b.requests.Add(1)
+
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.url+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return proxyResult{}, err
+	}
+	copyHeader(req.Header, r.Header)
+	req.Header.Del("Connection")
+
+	resp, err := g.cfg.Transport.RoundTrip(req)
+	if err != nil {
+		return proxyResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return proxyResult{}, fmt.Errorf("reading upstream body: %w", err)
+	}
+	if len(data) > maxResponseBytes {
+		return proxyResult{}, errors.New("upstream response exceeds gateway limit")
+	}
+	if resp.ContentLength >= 0 && int64(len(data)) < resp.ContentLength {
+		return proxyResult{}, fmt.Errorf("partial upstream body: %d of %d bytes", len(data), resp.ContentLength)
+	}
+	return proxyResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// hopHeaders are connection-scoped and must not be forwarded either way.
+var hopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Connection":    true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+	"Content-Length":      true, // recomputed from the buffered body
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		dst[k] = append([]string(nil), vs...)
+	}
+}
+
+// BackendStatus is one backend's row in the gateway status report.
+type BackendStatus struct {
+	URL string `json:"url"`
+	// State is "healthy", "down" (probe unreachable), or "draining"
+	// (reachable but lagging the fleet watermark).
+	State string `json:"state"`
+	// Breaker is "closed", "open", or "half-open".
+	Breaker  string `json:"breaker"`
+	Inflight int64  `json:"inflight"`
+	// AppliedVersions is the backend's total applied-version watermark
+	// from the last successful probe.
+	AppliedVersions int64  `json:"applied_versions"`
+	Requests        int64  `json:"requests"`
+	Failures        int64  `json:"failures"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Status is the gateway's introspection snapshot (GET /gateway/status).
+type Status struct {
+	Backends []BackendStatus `json:"backends"`
+	Proxied  int64           `json:"proxied"`
+	// Retries counts failed attempts that triggered (or exhausted)
+	// failover; Unroutable counts requests no backend could serve.
+	Retries    int64 `json:"retries"`
+	Unroutable int64 `json:"unroutable"`
+	// Shed maps route class → requests refused by admission control.
+	Shed map[string]int64 `json:"shed"`
+}
+
+// Status snapshots the gateway's state.
+func (g *Gateway) Status() Status {
+	st := Status{
+		Proxied:    g.proxied.Load(),
+		Retries:    g.retries.Load(),
+		Unroutable: g.unroutable.Load(),
+		Shed:       g.adm.shedCounts(),
+	}
+	for _, b := range g.backends {
+		state := "healthy"
+		switch {
+		case b.down.Load():
+			state = "down"
+		case b.draining.Load():
+			state = "draining"
+		}
+		st.Backends = append(st.Backends, BackendStatus{
+			URL:             b.url,
+			State:           state,
+			Breaker:         b.breaker.State().String(),
+			Inflight:        b.inflight.Load(),
+			AppliedVersions: b.applied.Load(),
+			Requests:        b.requests.Load(),
+			Failures:        b.failures.Load(),
+			LastError:       b.lastError(),
+		})
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,649 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faulty"
+	"repro/internal/ml"
+	"repro/internal/replica"
+	"repro/internal/store"
+)
+
+// fleet is the shared test fixture: a primary store with published
+// releases, N replicas each behind its own fault injector (the
+// "network"), all synced, plus the canonical byte truth from a direct
+// primary server.
+type fleet struct {
+	src     *store.Store
+	primary *httptest.Server
+	reps    []*replica.Server
+	injs    []*faulty.Injector
+	srvs    []*httptest.Server
+	urls    []string
+}
+
+// hourSpeeds is a fixed 24-entry serving-time join table.
+func hourSpeeds() []float64 {
+	out := make([]float64, 24)
+	for i := range out {
+		out[i] = 10 + float64(i)/2
+	}
+	return out
+}
+
+// newFleet publishes `versions` releases of model "m" and stands up n
+// synced replicas behind injectors.
+func newFleet(t testing.TB, n, versions int) *fleet {
+	t.Helper()
+	f := &fleet{src: store.New()}
+	spec, err := store.Serialize(&ml.LinearModel{Weights: []float64{2, -1}, Bias: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= versions; v++ {
+		f.src.Publish(store.Bundle{
+			Name:     "m",
+			Model:    spec,
+			Features: map[string][]float64{"hour_speed": hourSpeeds()},
+			Provenance: store.Provenance{
+				Pipeline: "m", Decision: "accept", Quality: float64(v),
+			},
+		})
+	}
+	f.primary = httptest.NewServer(store.NewServer(f.src).Handler())
+	t.Cleanup(f.primary.Close)
+	for i := 0; i < n; i++ {
+		rep := replica.NewServer()
+		inj := faulty.New(uint64(1000 + i))
+		srv := httptest.NewServer(inj.Handler(rep.Handler()))
+		t.Cleanup(srv.Close)
+		f.reps = append(f.reps, rep)
+		f.injs = append(f.injs, inj)
+		f.srvs = append(f.srvs, srv)
+		f.urls = append(f.urls, srv.URL)
+	}
+	if n > 0 {
+		pub := replica.NewPublisher(f.src, f.urls)
+		if err := pub.Sync(); err != nil {
+			t.Fatalf("syncing fleet: %v", err)
+		}
+	}
+	return f
+}
+
+// gw builds a gateway over the fleet with fast test timings.
+func (f *fleet) gw(t testing.TB, mutate ...func(*Config)) *Gateway {
+	t.Helper()
+	cfg := Config{
+		Backends:       f.urls,
+		AttemptTimeout: 500 * time.Millisecond,
+		HealthInterval: 20 * time.Millisecond,
+		Breaker:        BreakerConfig{FailThreshold: 3, Cooldown: 250 * time.Millisecond},
+		Limits:         Limits{Read: 512, Predict: 256, Batch: 64},
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// canonicalPaths are the read requests the byte-identity assertions
+// cover, with the canonical body fetched from the primary.
+var batchBody = `{"rows":[[1,0.5],[0.25,2]]}`
+
+func canonicalPaths() []struct{ method, path, body string } {
+	return []struct{ method, path, body string }{
+		{http.MethodGet, "/models", ""},
+		{http.MethodGet, "/models/m/provenance", ""},
+		{http.MethodGet, "/features?model=m&key=hour_speed", ""},
+		{http.MethodGet, "/features?model=m&key=hour_speed&index=8", ""},
+		{http.MethodPost, "/predict/batch?model=m", batchBody},
+	}
+}
+
+func doReq(t testing.TB, client *http.Client, method, url, body string) (int, []byte, error) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewBufferString(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// canon fetches the canonical body from the primary (must be 200).
+func (f *fleet) canon(t testing.TB, method, path, body string) []byte {
+	t.Helper()
+	code, raw, err := doReq(t, f.primary.Client(), method, f.primary.URL+path, body)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("canonical %s %s: %d %v %s", method, path, code, err, raw)
+	}
+	return raw
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		method, path string
+		want         Class
+	}{
+		{http.MethodGet, "/models", ClassRead},
+		{http.MethodGet, "/features?model=m&key=k", ClassRead},
+		{http.MethodGet, "/models/m/provenance", ClassRead},
+		{http.MethodPost, "/predict", ClassPredict},
+		{http.MethodPost, "/predict?model=m", ClassPredict},
+		{http.MethodPost, "/predict/batch", ClassBatch},
+		{http.MethodPost, "/predict/batch?model=m", ClassBatch},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(c.method, c.path, nil)
+		if got := Classify(r); got != c.want {
+			t.Errorf("Classify(%s %s) = %v, want %v", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+// TestBreakerStateMachine drives closed → open → half-open → closed and
+// the half-open-failure → open edge with a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailThreshold: 3, Cooldown: time.Minute})
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// A success between failures resets the consecutive count.
+	b2 := NewBreaker(BreakerConfig{FailThreshold: 3, Cooldown: time.Minute})
+	b2.Record(false)
+	b2.Record(false)
+	b2.Record(true)
+	b2.Record(false)
+	b2.Record(false)
+	if b2.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent request admitted during half-open probe")
+	}
+	// Probe fails → open again for a fresh cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+	// Next cooldown, probe succeeds → closed.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a request")
+	}
+}
+
+// TestAdmissionShedOrdering pins the shed-before-collapse policy: batch
+// is refused once the gateway is ¾ full even though its own class has
+// room, while reads keep being admitted until their own bound.
+func TestAdmissionShedOrdering(t *testing.T) {
+	a := newAdmission(Limits{Read: 6, Predict: 2, Batch: 2}) // global 10, soft 7
+	var releases []func()
+	acquire := func(c Class, wantOK bool) {
+		t.Helper()
+		rel, ok := a.admit(c)
+		if ok != wantOK {
+			t.Fatalf("admit(%v) = %v, want %v (global %d)", c, ok, wantOK, a.global.Load())
+		}
+		if ok {
+			releases = append(releases, rel)
+		}
+	}
+
+	// Below the soft threshold everything is admitted, up to each
+	// class's own bound.
+	acquire(ClassBatch, true)
+	acquire(ClassBatch, true)
+	acquire(ClassBatch, false) // class bound: batch is full at 2
+	// Free one batch slot and climb to the soft threshold with cheap
+	// classes: global reaches 7 (== batchSoft) with batch at 1/2.
+	releases[0]()
+	releases = releases[1:]
+	for i := 0; i < 6; i++ {
+		acquire(ClassRead, true)
+	}
+	// Batch has class room, but the gateway is ¾ full → shed batch
+	// first...
+	acquire(ClassBatch, false)
+	// ...while cheap classes are still welcome until their own bounds.
+	acquire(ClassPredict, true)
+	acquire(ClassPredict, true)
+	acquire(ClassRead, false) // read class bound (6/6)
+
+	shed := a.shedCounts()
+	if shed["batch"] != 2 || shed["read"] != 1 || shed["predict"] != 0 {
+		t.Fatalf("shed counts = %v, want batch 2, read 1, predict 0", shed)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if a.global.Load() != 0 {
+		t.Fatalf("global in-flight after all releases = %d, want 0", a.global.Load())
+	}
+	// Capacity fully restored: batch admits again.
+	if _, ok := a.admit(ClassBatch); !ok {
+		t.Fatal("batch refused on an idle gateway after releases")
+	}
+}
+
+// TestProxyByteIdentical pins the canonical-bytes invariant on the happy
+// path: every read endpoint through the gateway returns byte-identical
+// bodies to the primary.
+func TestProxyByteIdentical(t *testing.T) {
+	f := newFleet(t, 3, 2)
+	g := f.gw(t)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	for _, c := range canonicalPaths() {
+		want := f.canon(t, c.method, c.path, c.body)
+		code, got, err := doReq(t, gsrv.Client(), c.method, gsrv.URL+c.path, c.body)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("%s %s via gateway: %d %v", c.method, c.path, code, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s %s: gateway body diverges from primary:\n gw: %s\n pri: %s", c.method, c.path, got, want)
+		}
+	}
+	if st := g.Status(); st.Proxied != int64(len(canonicalPaths())) {
+		t.Errorf("proxied counter = %d, want %d", st.Proxied, len(canonicalPaths()))
+	}
+}
+
+// TestFailoverRetriesOnceOnAnotherReplica: a failed request (transport
+// reset or 5xx) is transparently retried on a different backend and the
+// client still gets the canonical bytes.
+func TestFailoverRetriesOnceOnAnotherReplica(t *testing.T) {
+	for _, mode := range []faulty.Mode{faulty.Reset, faulty.Error} {
+		t.Run(mode.String(), func(t *testing.T) {
+			f := newFleet(t, 2, 1)
+			// Backend 0 fails its first 3 requests in the given mode.
+			f.injs[0].Set(faulty.Rule{Mode: mode, First: 3})
+			g := f.gw(t)
+			gsrv := httptest.NewServer(g.Handler())
+			defer gsrv.Close()
+
+			want := f.canon(t, http.MethodGet, "/models", "")
+			for i := 0; i < 6; i++ {
+				code, got, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+				if err != nil || code != http.StatusOK {
+					t.Fatalf("request %d: %d %v", i, code, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("request %d: non-canonical body through failover", i)
+				}
+			}
+			if st := g.Status(); st.Retries == 0 {
+				t.Error("failover happened but the retry counter did not move")
+			}
+		})
+	}
+}
+
+// TestPartialUpstreamBodyFailsOver: a backend that truncates its
+// response mid-body must not leak the truncation to the client — the
+// gateway verifies completeness before forwarding and fails over.
+func TestPartialUpstreamBodyFailsOver(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	f.injs[0].Set(faulty.Rule{Mode: faulty.Partial})
+	g := f.gw(t)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	want := f.canon(t, http.MethodGet, "/features?model=m&key=hour_speed", "")
+	for i := 0; i < 6; i++ {
+		code, got, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/features?model=m&key=hour_speed", "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("request %d: %d %v", i, code, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("request %d: truncated/non-canonical body reached the client", i)
+		}
+	}
+}
+
+// TestStalledBackendBoundedByAttemptDeadline: a hanging backend costs at
+// most one AttemptTimeout before failover; the client's own context
+// cancellation also cuts through.
+func TestStalledBackendBoundedByAttemptDeadline(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	f.injs[0].Set(faulty.Rule{Mode: faulty.Hang})
+	g := f.gw(t, func(c *Config) { c.AttemptTimeout = 300 * time.Millisecond })
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	want := f.canon(t, http.MethodGet, "/models", "")
+	start := time.Now()
+	code, got, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+	elapsed := time.Since(start)
+	if err != nil || code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("request through stalled backend: %d %v", code, err)
+	}
+	// One stalled attempt (≤150ms) plus a fast failover; generous bound
+	// for CI noise, but far below an unbounded hang.
+	if elapsed > 3*time.Second {
+		t.Fatalf("request took %v — the stall was not bounded by the attempt deadline", elapsed)
+	}
+
+	// Client cancellation propagates: with every backend stalled, a
+	// client that gives up is released promptly.
+	f.injs[0].Set(faulty.Rule{Mode: faulty.Hang})
+	f.injs[1].Set(faulty.Rule{Mode: faulty.Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, gsrv.URL+"/models", nil)
+	start = time.Now()
+	_, cerr := gsrv.Client().Do(req)
+	if cerr == nil {
+		t.Fatal("want an error when every backend hangs and the client cancels")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("client cancellation took %v to propagate", d)
+	}
+}
+
+// TestBreakerOpensThenRecloses: a dead backend's breaker opens after
+// FailThreshold consecutive failures, traffic routes around it, and
+// once the backend recovers a half-open probe re-closes the breaker.
+func TestBreakerOpensThenRecloses(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	f.injs[0].Set(faulty.Rule{Mode: faulty.Reset})
+	g := f.gw(t, func(c *Config) {
+		c.Breaker = BreakerConfig{FailThreshold: 3, Cooldown: 150 * time.Millisecond}
+	})
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	// Drive traffic until backend 0 accumulates enough failures to trip.
+	for i := 0; i < 20; i++ {
+		code, _, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("request %d failed: %d %v", i, code, err)
+		}
+	}
+	open := false
+	for _, b := range g.Status().Backends {
+		if b.URL == f.urls[0] && b.Breaker == "open" {
+			open = true
+		}
+	}
+	if !open {
+		t.Fatalf("backend 0 breaker did not open: %+v", g.Status().Backends)
+	}
+
+	// Recover the backend; after the cooldown, continued traffic drives
+	// a half-open probe that re-closes the breaker.
+	f.injs[0].Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("post-recovery request failed: %d %v", code, err)
+		}
+		closed := false
+		for _, b := range g.Status().Backends {
+			if b.URL == f.urls[0] && b.Breaker == "closed" {
+				closed = true
+			}
+		}
+		if closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-closed after recovery: %+v", g.Status().Backends)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestLaggingReplicaIsDrainedNotKilled: health probes compare each
+// replica's applied-version watermarks against the fleet's frontier; a
+// stale replica is drained (no traffic, no breaker trip) and rejoins
+// once the publisher catches it up.
+func TestLaggingReplicaIsDrainedNotKilled(t *testing.T) {
+	f := newFleet(t, 2, 0) // start empty; versions pushed by hand below
+	spec, _ := store.Serialize(&ml.LinearModel{Weights: []float64{1, 1}, Bias: 0})
+	for v := 1; v <= 4; v++ {
+		f.src.Publish(store.Bundle{
+			Name: "m", Model: spec,
+			Features:   map[string][]float64{"hour_speed": hourSpeeds()},
+			Provenance: store.Provenance{Pipeline: "m", Decision: "accept", Quality: float64(v)},
+		})
+	}
+	// Replica 0 gets everything; replica 1 only v1 — 3 versions behind.
+	if err := replica.NewPublisher(f.src, f.urls[:1]).Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.NewPublisher(f.src, f.urls[1:]).Push("m", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	g := f.gw(t, func(c *Config) { c.LagVersions = 1 })
+	g.Start()
+	defer g.Stop()
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	stateOf := func(url string) string {
+		for _, b := range g.Status().Backends {
+			if b.URL == url {
+				return b.State
+			}
+		}
+		return "?"
+	}
+	if got := stateOf(f.urls[1]); got != "draining" {
+		t.Fatalf("lagging replica state = %q, want draining", got)
+	}
+	if got := stateOf(f.urls[0]); got != "healthy" {
+		t.Fatalf("current replica state = %q, want healthy", got)
+	}
+
+	// All traffic lands on the current replica; the drained one serves
+	// nothing but is not broken (breaker stays closed).
+	for i := 0; i < 10; i++ {
+		code, _, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("request %d: %d %v", i, code, err)
+		}
+	}
+	for _, b := range g.Status().Backends {
+		if b.URL == f.urls[1] {
+			if b.Requests != 0 {
+				t.Errorf("drained replica served %d requests, want 0", b.Requests)
+			}
+			if b.Breaker != "closed" {
+				t.Errorf("drained replica breaker = %q — draining must not trip breakers", b.Breaker)
+			}
+		}
+	}
+
+	// Catch the replica up; the next probes return it to rotation.
+	if err := replica.NewPublisher(f.src, f.urls[1:]).Sync(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for stateOf(f.urls[1]) != "healthy" {
+		if time.Now().After(deadline) {
+			t.Fatalf("caught-up replica never rejoined: %+v", g.Status().Backends)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDownBackendDetectedByHealthProbe: a backend whose listener is gone
+// is marked down by the active prober and routed around without waiting
+// for request failures.
+func TestDownBackendDetectedByHealthProbe(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	g := f.gw(t)
+	g.Start()
+	defer g.Stop()
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	f.srvs[0].Close() // the process dies
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		down := false
+		for _, b := range g.Status().Backends {
+			if b.URL == f.urls[0] && b.State == "down" {
+				down = true
+			}
+		}
+		if down {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead backend never marked down: %+v", g.Status().Backends)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := f.canon(t, http.MethodGet, "/models", "")
+	for i := 0; i < 5; i++ {
+		code, got, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+		if err != nil || code != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("request %d with a down backend: %d %v", i, code, err)
+		}
+	}
+}
+
+// TestPushRefusedAtGateway: the gateway only routes reads; the
+// replication protocol's mutating endpoint must not be load-balanced.
+func TestPushRefusedAtGateway(t *testing.T) {
+	f := newFleet(t, 1, 1)
+	g := f.gw(t)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	code, body, err := doReq(t, gsrv.Client(), http.MethodPost, gsrv.URL+"/push", "bundle-bytes")
+	if err != nil || code != http.StatusForbidden {
+		t.Fatalf("POST /push via gateway: %d %v %s", code, err, body)
+	}
+	if f.reps[0].Store().VersionCount("m") != 1 {
+		t.Fatal("a gateway-routed push mutated a replica store")
+	}
+}
+
+// TestLeastLoadedRouting: with one backend pinned by slow requests, new
+// requests prefer the idle backend.
+func TestLeastLoadedRouting(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	// Backend 0 is slow: every request takes 200ms.
+	f.injs[0].Set(faulty.Rule{Mode: faulty.Pass, Latency: 200 * time.Millisecond})
+	g := f.gw(t)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	// Saturate: launch a few slow requests to raise backend 0's
+	// in-flight count, then measure where quick requests land.
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, _, _ = doReq(t, &http.Client{Timeout: 5 * time.Second}, http.MethodGet, gsrv.URL+"/models", "")
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	var before, after int64
+	for _, b := range g.Status().Backends {
+		if b.URL == f.urls[1] {
+			before = b.Requests
+		}
+	}
+	for i := 0; i < 8; i++ {
+		code, _, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", "")
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("request %d: %d %v", i, code, err)
+		}
+	}
+	for _, b := range g.Status().Backends {
+		if b.URL == f.urls[1] {
+			after = b.Requests
+		}
+	}
+	if after-before < 6 {
+		t.Errorf("idle backend served only %d of 8 quick requests; least-loaded routing not engaging", after-before)
+	}
+}
+
+// TestGatewayStatusEndpoint sanity-checks the operator surface.
+func TestGatewayStatusEndpoint(t *testing.T) {
+	f := newFleet(t, 2, 1)
+	g := f.gw(t)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	if code, _, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/models", ""); err != nil || code != 200 {
+		t.Fatalf("warmup: %d %v", code, err)
+	}
+	code, body, err := doReq(t, gsrv.Client(), http.MethodGet, gsrv.URL+"/gateway/status", "")
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("gateway status: %d %v", code, err)
+	}
+	for _, want := range []string{`"backends"`, `"breaker"`, `"shed"`, f.urls[0], f.urls[1]} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("status body missing %s: %s", want, body)
+		}
+	}
+}
+
+// TestNoBackends: construction fails fast.
+func TestNoBackends(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with zero backends must error")
+	}
+}

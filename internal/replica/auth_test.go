@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -195,7 +196,7 @@ func TestSelfHealingPublisherRestart(t *testing.T) {
 	repA, srvA := newReplica(t)
 	repB, srvB := newReplica(t)
 	seed := NewPublisher(src, []string{srvA.URL})
-	if err := seed.pushTo(srvA.URL, "wide", 1, mustEncode(t, seed, src, "wide", 1)); err != nil {
+	if err := seed.pushTo(context.Background(), srvA.URL, "wide", 1, mustEncode(t, seed, src, "wide", 1)); err != nil {
 		t.Fatal(err)
 	}
 

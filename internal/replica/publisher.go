@@ -3,10 +3,12 @@ package replica
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -179,6 +181,29 @@ func (p *Publisher) Publish(b store.Bundle) (int, error) {
 	return version, p.Push(b.Name, version)
 }
 
+// sleepBackoff waits out one retry delay with full jitter — a uniform
+// draw from (0, d] rather than d itself, so a fleet of publishers (or
+// one publisher's per-endpoint goroutines) that failed together does
+// not retry in lockstep against a recovering replica. It returns early
+// with the context's error on cancellation: a shutting-down caller is
+// never pinned inside a backoff sleep.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		d = time.Duration(1 + rand.Int64N(int64(d)))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // pushBody is one encoded bundle ready for the wire: the gob bytes and,
 // when compression is on and pays for itself, their gzip form.
 type pushBody struct{ raw, gz []byte }
@@ -208,6 +233,12 @@ func (p *Publisher) encodePush(b *store.Bundle) (pushBody, error) {
 // an endpoint that has not been reconciled since this publisher started
 // is first backfilled from its reported watermarks.
 func (p *Publisher) Push(name string, version int) error {
+	return p.PushContext(context.Background(), name, version)
+}
+
+// PushContext is Push with cancellation: the context aborts in-flight
+// push requests and interrupts retry backoff sleeps promptly.
+func (p *Publisher) PushContext(ctx context.Context, name string, version int) error {
 	bundle, ok := p.src.Get(name, version)
 	if !ok {
 		return fmt.Errorf("replica: push %s@v%d: not in source store", name, version)
@@ -223,8 +254,8 @@ func (p *Publisher) Push(name string, version int) error {
 		wg.Add(1)
 		go func(i int, ep string) {
 			defer wg.Done()
-			p.ensureHealed(ep)
-			errs[i] = p.pushTo(ep, name, version, body)
+			p.ensureHealed(ctx, ep)
+			errs[i] = p.pushTo(ctx, ep, name, version, body)
 		}(i, ep)
 	}
 	wg.Wait()
@@ -234,14 +265,14 @@ func (p *Publisher) Push(name string, version int) error {
 // ensureHealed reconciles an endpoint flagged by WithSelfHealing. On
 // failure the flag stays set (the gap protocol still converges the
 // pushed name; other names retry at the next push or Heal).
-func (p *Publisher) ensureHealed(ep string) {
+func (p *Publisher) ensureHealed(ctx context.Context, ep string) {
 	p.mu.Lock()
 	pending := p.healPending[ep]
 	p.mu.Unlock()
 	if !pending {
 		return
 	}
-	if err := p.healEndpoint(ep); err == nil {
+	if err := p.healEndpoint(ctx, ep); err == nil {
 		p.mu.Lock()
 		delete(p.healPending, ep)
 		p.mu.Unlock()
@@ -252,12 +283,12 @@ func (p *Publisher) ensureHealed(ep string) {
 // backfills every missing release. Unlike the cached-watermark path,
 // this trusts only what the replica reports — the correct stance right
 // after a restart on either side.
-func (p *Publisher) healEndpoint(ep string) error {
-	applied, err := p.fetchStatus(ep)
+func (p *Publisher) healEndpoint(ctx context.Context, ep string) error {
+	applied, err := p.fetchStatus(ctx, ep)
 	if err != nil {
 		return err
 	}
-	return p.syncEndpoint(ep, p.src.List(), applied)
+	return p.syncEndpoint(ctx, ep, p.src.List(), applied)
 }
 
 // Heal eagerly reconciles every endpoint against its reported
@@ -266,9 +297,14 @@ func (p *Publisher) healEndpoint(ep string) error {
 // down converge before the next natural push). Endpoints that cannot
 // be reached stay flagged for lazy healing on their next push.
 func (p *Publisher) Heal() error {
+	return p.HealContext(context.Background())
+}
+
+// HealContext is Heal with cancellation.
+func (p *Publisher) HealContext(ctx context.Context) error {
 	var errs []error
 	for _, ep := range p.Endpoints() {
-		if err := p.healEndpoint(ep); err != nil {
+		if err := p.healEndpoint(ctx, ep); err != nil {
 			errs = append(errs, err)
 			continue
 		}
@@ -288,14 +324,25 @@ func (p *Publisher) Heal() error {
 // fails, Sync falls back to the cached watermarks (the gap protocol
 // corrects any staleness on the first push).
 func (p *Publisher) Sync() error {
+	return p.SyncContext(context.Background())
+}
+
+// SyncContext is Sync with cancellation: a daemon draining on shutdown
+// can bound its final anti-entropy sweep instead of hanging on an
+// unreachable replica's full retry schedule.
+func (p *Publisher) SyncContext(ctx context.Context) error {
 	names := p.src.List() // already sorted
 	var errs []error
 	for _, ep := range p.Endpoints() {
-		applied, err := p.fetchStatus(ep)
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		applied, err := p.fetchStatus(ctx, ep)
 		if err != nil {
 			applied = nil // unknown; fall back to cached watermarks
 		}
-		if err := p.syncEndpoint(ep, names, applied); err != nil {
+		if err := p.syncEndpoint(ctx, ep, names, applied); err != nil {
 			// This replica is unreachable or divergent; move on to the
 			// next endpoint rather than burning retries per name.
 			errs = append(errs, err)
@@ -307,7 +354,7 @@ func (p *Publisher) Sync() error {
 // syncEndpoint pushes one replica everything it is missing, stopping at
 // the first push failure (the endpoint is likely down; its remaining
 // names would each eat a full retry cycle).
-func (p *Publisher) syncEndpoint(ep string, names []string, applied map[string]int) error {
+func (p *Publisher) syncEndpoint(ctx context.Context, ep string, names []string, applied map[string]int) error {
 	for _, name := range names {
 		from := p.Watermark(ep, name)
 		if applied != nil {
@@ -327,7 +374,7 @@ func (p *Publisher) syncEndpoint(ep string, names []string, applied map[string]i
 			if err != nil {
 				return err
 			}
-			if err := p.pushTo(ep, name, v, body); err != nil {
+			if err := p.pushTo(ctx, ep, name, v, body); err != nil {
 				return err
 			}
 		}
@@ -336,8 +383,12 @@ func (p *Publisher) syncEndpoint(ep string, names []string, applied map[string]i
 }
 
 // fetchStatus reads a replica's applied-version watermarks.
-func (p *Publisher) fetchStatus(endpoint string) (map[string]int, error) {
-	resp, err := p.client.Get(endpoint + "/replica/status")
+func (p *Publisher) fetchStatus(ctx context.Context, endpoint string) (map[string]int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint+"/replica/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +396,7 @@ func (p *Publisher) fetchStatus(endpoint string) (map[string]int, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("replica: status %s: %d: %s", endpoint, resp.StatusCode, readError(resp.Body))
 	}
-	var st statusResponse
+	var st Status
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, fmt.Errorf("replica: undecodable status from %s: %w", endpoint, err)
 	}
@@ -356,27 +407,33 @@ func (p *Publisher) fetchStatus(endpoint string) (map[string]int, error) {
 }
 
 // pushTo delivers one encoded bundle to one replica, retrying transport
-// errors with exponential backoff and healing version gaps by
-// backfilling from the replica's reported watermark.
-func (p *Publisher) pushTo(endpoint, name string, version int, body pushBody) error {
+// errors with exponential backoff (full jitter, see sleepBackoff) and
+// healing version gaps by backfilling from the replica's reported
+// watermark. Cancelling the context aborts the in-flight request and
+// interrupts any backoff sleep.
+func (p *Publisher) pushTo(ctx context.Context, endpoint, name string, version int, body pushBody) error {
 	backoff := p.backoff
 	var lastErr error
 	for attempt := 0; attempt <= p.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			if err := sleepBackoff(ctx, backoff); err != nil {
+				// Cancelled mid-retry: surface both the cancellation and
+				// what we were retrying.
+				return errors.Join(err, lastErr)
+			}
 			backoff *= 2
 		}
-		st, gap, err := p.pushOnce(endpoint, body)
+		st, gap, err := p.pushOnce(ctx, endpoint, body)
 		switch {
 		case gap != nil:
 			// The replica is missing versions ≤ ours: backfill in order
 			// from its watermark, then re-deliver this one. Not a retry —
 			// the gap reply is authoritative, so the attempt counter
 			// resets inside the recursive deliveries.
-			if err := p.backfill(endpoint, name, gap.Watermark, version-1); err != nil {
+			if err := p.backfill(ctx, endpoint, name, gap.Watermark, version-1); err != nil {
 				return err
 			}
-			st, gap, err = p.pushOnce(endpoint, body)
+			st, gap, err = p.pushOnce(ctx, endpoint, body)
 			switch {
 			case err == nil && gap == nil:
 				p.noteWatermark(endpoint, name, st.Watermark)
@@ -404,7 +461,7 @@ func (p *Publisher) pushTo(endpoint, name string, version int, body pushBody) er
 
 // backfill pushes versions from..to of name (inclusive) to one
 // endpoint, in order.
-func (p *Publisher) backfill(endpoint, name string, watermark, to int) error {
+func (p *Publisher) backfill(ctx context.Context, endpoint, name string, watermark, to int) error {
 	for v := watermark + 1; v <= to; v++ {
 		bundle, ok := p.src.Get(name, v)
 		if !ok {
@@ -414,7 +471,7 @@ func (p *Publisher) backfill(endpoint, name string, watermark, to int) error {
 		if err != nil {
 			return err
 		}
-		st, gap, err := p.pushOnce(endpoint, body)
+		st, gap, err := p.pushOnce(ctx, endpoint, body)
 		if err != nil {
 			return fmt.Errorf("replica: backfill %s@v%d to %s: %w", name, v, endpoint, err)
 		}
@@ -439,13 +496,13 @@ func isPermanent(err error) bool {
 
 // pushOnce performs a single POST /push. It returns the decoded status
 // on success, the gap report on a version-gap 409, or an error.
-func (p *Publisher) pushOnce(endpoint string, body pushBody) (PushStatus, *gapResponse, error) {
+func (p *Publisher) pushOnce(ctx context.Context, endpoint string, body pushBody) (PushStatus, *gapResponse, error) {
 	payload := body.raw
 	encoding := ""
 	if body.gz != nil {
 		payload, encoding = body.gz, "gzip"
 	}
-	req, err := http.NewRequest(http.MethodPost, endpoint+"/push", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint+"/push", bytes.NewReader(payload))
 	if err != nil {
 		return PushStatus{}, nil, err
 	}

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 
 	"repro/internal/store"
 )
@@ -74,11 +75,19 @@ type PushStatus struct {
 	Watermark int `json:"watermark"`
 }
 
-// statusResponse is the reply to GET /replica/status.
-type statusResponse struct {
+// Status is the reply to GET /replica/status — the health and lag
+// signal the gateway tier routes on: a replica whose watermarks trail
+// the fleet is drained (not killed) until it catches up, and Inflight
+// exposes the replica's current serving load for observability.
+type Status struct {
 	// Watermarks maps model name → applied version count.
 	Watermarks map[string]int `json:"watermarks"`
 	Generation uint64         `json:"generation"`
+	// Models is the number of distinct model names applied.
+	Models int `json:"models"`
+	// Inflight is the number of serving-API requests currently being
+	// handled (push and status traffic excluded).
+	Inflight int64 `json:"inflight"`
 }
 
 // gapResponse is the 409 body for out-of-order pushes: it carries the
@@ -99,6 +108,9 @@ type Server struct {
 	// authToken, when non-empty, gates POST /push behind
 	// "Authorization: Bearer <token>".
 	authToken string
+	// inflight counts serving-API requests currently in progress,
+	// reported by GET /replica/status.
+	inflight atomic.Int64
 }
 
 // ServerOption configures a replica server.
@@ -133,7 +145,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /push", s.handlePush)
 	mux.HandleFunc("GET /replica/status", s.handleStatus)
-	mux.Handle("/", s.srv.Handler())
+	serving := s.srv.Handler()
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		serving.ServeHTTP(w, r)
+	}))
 	return mux
 }
 
@@ -201,9 +218,12 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statusResponse{
-		Watermarks: s.store.Watermarks(),
+	wms := s.store.Watermarks()
+	writeJSON(w, http.StatusOK, Status{
+		Watermarks: wms,
 		Generation: s.store.Generation(),
+		Models:     len(wms),
+		Inflight:   s.inflight.Load(),
 	})
 }
 
