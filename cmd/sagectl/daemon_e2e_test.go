@@ -93,6 +93,7 @@ func startDaemon(t *testing.T, bin, walDir string, extra ...string) *daemonProc 
 		"-eps0", "0.5",
 		"-eps-cap", "0.5",
 		"-compact-every", "5",
+		"-ledger-shards", "3",
 	}, extra...)
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -210,6 +211,18 @@ func TestDaemonKillRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _ = d1.cmd.Process.Wait()
+
+	// The offline inspector must read the post-kill directory (possibly
+	// with a torn tail) without error and see the sharded layout.
+	insp, err := exec.Command(bin, "wal", "-wal", walDir, "-v").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sagectl wal after kill: %v\n%s", err, insp)
+	}
+	for _, f := range []string{"ledger-0-of-3.wal", "ledger-1-of-3.wal", "ledger-2-of-3.wal", "store.wal"} {
+		if !strings.Contains(string(insp), f) {
+			t.Fatalf("sagectl wal output missing %s:\n%s", f, insp)
+		}
+	}
 
 	// Phase 2: open the WAL in-process. This is the ground truth the
 	// relaunched daemon must reproduce. (Opening also truncates any

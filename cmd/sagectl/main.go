@@ -11,7 +11,8 @@
 //	sagectl [ledger] [-epsg 1.0] [-delta 1e-6] [-days 30] [-pipelines 3] [-user-blocks]
 //	sagectl serve [-addr :8080] [-feature-eps 0.1] [-push http://r1:8081,http://r2:8081] [-push-token T] [ledger flags]
 //	sagectl replica [-addr :8081] [-push-token T]
-//	sagectl daemon [-wal ./sage-wal] [-addr :8080] [-tick 1s] [-retention N] [-push ...] [-push-token T]
+//	sagectl daemon [-wal ./sage-wal] [-addr :8080] [-tick 1s] [-ledger-shards N] [-retention N] [-push ...] [-push-token T]
+//	sagectl wal [-wal ./sage-wal] [-v]
 //	sagectl gateway [-addr :8090] [-backends http://r1:8081,http://r2:8081] [-from http://daemon:8080] [-attempt-timeout 10s]
 //
 // In serve mode, accepted pipelines are published as bundles — model,
@@ -44,12 +45,21 @@
 // loop (internal/daemon) that ingests stream blocks, trains when budget
 // allows, publishes, pushes to replicas, and retires blocks by
 // retention — with every ledger and store mutation write-ahead-logged
-// under -wal. Kill it at any instant and relaunch with the same -wal
-// directory: it resumes at the same block/version watermarks, and the
-// replica tier self-heals. SIGTERM/SIGINT drain gracefully (finish the
+// under -wal. With -ledger-shards N the privacy ledger is striped
+// across N WAL segments so concurrent charges commit in parallel (the
+// layout is fixed when the directory is created; reopening always uses
+// what is on disk). Kill it at any instant and relaunch with the same
+// -wal directory: it resumes at the same block/version watermarks, and
+// the replica tier self-heals. SIGTERM/SIGINT drain gracefully (finish the
 // iteration, final replica sync, compact, close). Besides the serving
 // API, daemon mode exposes GET /daemon/status (ledger, store, and
 // replica watermarks as JSON).
+//
+// The wal subcommand inspects a durable directory offline (daemon
+// stopped): it lists every log file — ledger segments in shard order,
+// then the store log — with record counts, byte sizes, and torn-tail
+// status; -v additionally prints each record's offset, length, type,
+// and CRC verdict. It never writes.
 package main
 
 import (
@@ -62,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -72,6 +83,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/data"
+	"repro/internal/durable"
 	"repro/internal/gateway"
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
@@ -80,6 +92,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/taxi"
 	"repro/internal/validation"
+	"repro/internal/wal"
 )
 
 // options carries the flags shared by the subcommands.
@@ -101,12 +114,16 @@ type options struct {
 	retention    int
 	maxTicks     int
 	compactEvery int
+	compactBytes int64
+	ledgerShards int
 	sla          string
 	seed         uint64
 	eps0         float64
 	epsCap       float64
 	noSync       bool
 	drain        time.Duration
+	// wal-only.
+	walVerbose bool
 	// gateway-only.
 	backends        string
 	from            string
@@ -122,7 +139,7 @@ func main() {
 	mode := "ledger"
 	if len(args) > 0 {
 		switch args[0] {
-		case "ledger", "serve", "replica", "daemon", "gateway":
+		case "ledger", "serve", "replica", "daemon", "gateway", "wal":
 			mode = args[0]
 			args = args[1:]
 		}
@@ -153,6 +170,8 @@ func main() {
 		fs.IntVar(&opt.retention, "retention", 0, "keep only the newest N blocks; older ones are retired and their raw data deleted (0 = no age-based retirement)")
 		fs.IntVar(&opt.maxTicks, "max-ticks", 0, "stop after N ticks (0 = run until SIGTERM)")
 		fs.IntVar(&opt.compactEvery, "compact-every", 64, "compact the WALs every N ticks")
+		fs.Int64Var(&opt.compactBytes, "compact-bytes", 0, "also compact any WAL that grows past this many bytes, checked every tick (0 = tick cadence only)")
+		fs.IntVar(&opt.ledgerShards, "ledger-shards", 1, "stripe the privacy ledger across N WAL segments for concurrent charge throughput (fixed at directory creation; an existing -wal dir's layout wins)")
 		fs.StringVar(&opt.sla, "sla", "", "comma-separated per-pipeline MSE targets (default paper-scale serve targets)")
 		fs.Uint64Var(&opt.seed, "seed", 17, "stream/training seed (per-block data derives from it, so restarts regenerate identical blocks)")
 		fs.Float64Var(&opt.eps0, "eps0", 0, "adaptive search starting ε (default εg/8)")
@@ -161,6 +180,9 @@ func main() {
 		fs.StringVar(&opt.pushToken, "push-token", "", "bearer token sent with every push")
 		fs.BoolVar(&opt.noSync, "no-sync", false, "disable per-append fsync (tests only: crash durability drops to what the OS flushed)")
 		fs.DurationVar(&opt.drain, "drain", 30*time.Second, "bound on the final replica sync during graceful shutdown (0 = unbounded)")
+	case "wal":
+		fs.StringVar(&opt.walDir, "wal", "./sage-wal", "write-ahead-log directory to inspect")
+		fs.BoolVar(&opt.walVerbose, "v", false, "list every record (offset, length, type, CRC) instead of per-log summaries")
 	case "gateway":
 		fs.StringVar(&opt.addr, "addr", ":8090", "HTTP listen address for the gateway")
 		fs.StringVar(&opt.backends, "backends", "", "comma-separated replica base URLs to route over")
@@ -177,6 +199,12 @@ func main() {
 	// no pipelines — replicas serve what the publisher pushes into them,
 	// gateways route over replicas.
 	switch mode {
+	case "wal":
+		if err := runWalInspect(opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	case "replica":
 		if err := runReplica(opt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -249,6 +277,8 @@ func runDaemon(opt options, budget privacy.Budget) error {
 		Seed:          opt.seed,
 		MaxTicks:      opt.maxTicks,
 		CompactEvery:  opt.compactEvery,
+		CompactBytes:  opt.compactBytes,
+		LedgerShards:  opt.ledgerShards,
 		NoSync:        opt.noSync,
 		DrainTimeout:  opt.drain,
 		PushEndpoints: splitEndpoints(opt.push),
@@ -291,6 +321,54 @@ func runDaemon(opt options, budget privacy.Budget) error {
 		fmt.Println("daemon: drained cleanly")
 	}
 	return runErr
+}
+
+// runWalInspect prints what recovery would see in a durable directory:
+// each log file's record count, intact/total bytes, and whether the
+// tail is torn (and so would be truncated on the next open). With -v it
+// lists every frame. Read-only — safe on a live daemon's directory, but
+// the snapshot may be mid-append.
+func runWalInspect(opt options) error {
+	files, err := durable.LogFiles(opt.walDir)
+	if err != nil {
+		return fmt.Errorf("sagectl wal: %w", err)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("sagectl wal: no log files in %s", opt.walDir)
+	}
+	torn := 0
+	for _, path := range files {
+		rep, err := wal.Inspect(path)
+		if err != nil {
+			return fmt.Errorf("sagectl wal: %w", err)
+		}
+		status := "clean"
+		if rep.Torn() {
+			torn++
+			status = fmt.Sprintf("TORN tail: %d byte(s) after offset %d would be truncated",
+				rep.TotalBytes-rep.GoodBytes, rep.GoodBytes)
+		}
+		intact := len(rep.Records)
+		if intact > 0 && !rep.Records[intact-1].CRCOK {
+			intact--
+		}
+		fmt.Printf("%s: %d record(s), %d/%d bytes intact, %s\n",
+			filepath.Base(path), intact, rep.GoodBytes, rep.TotalBytes, status)
+		if !opt.walVerbose {
+			continue
+		}
+		for _, r := range rep.Records {
+			crc := "ok"
+			if !r.CRCOK {
+				crc = "BAD"
+			}
+			fmt.Printf("  offset %10d  len %8d  type %3d  crc %s\n", r.Offset, r.Length, r.Type, crc)
+		}
+	}
+	if torn > 0 {
+		fmt.Printf("%d of %d log(s) carry tail damage; the journaled prefix is intact and recovery truncates the rest\n", torn, len(files))
+	}
+	return nil
 }
 
 // newHTTPServer wraps a handler in an http.Server hardened against slow

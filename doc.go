@@ -40,15 +40,20 @@
 //
 // On top of the per-sweep engine sits a process-wide shared scheduler
 // (parallel.Pool + parallel.SetGlobal): one bounded worker pool that
-// every sweep submits its cells into, draining batches FIFO with a
-// caller-runs policy (submitters help their own batch, so nested
-// submissions cannot deadlock). cmd/sage-experiments -pipeline installs
-// it for -exp all, running the experiments concurrently so the tail of
-// one grid overlaps the head of the next instead of idling at a
-// per-experiment barrier; buffered per-experiment output keeps stdout
-// byte-identical to a sequential run. Because scheduling never feeds
-// randomness, interleaving whole experiments is as invisible as
-// interleaving cells — pinned by the shared-pool determinism test.
+// every sweep submits its cells into, with a caller-runs policy
+// (submitters help their own batch, so nested submissions cannot
+// deadlock). Workers drain longest-expected-cell-first: each submission
+// carries a per-cell cost hint (parallel.ForEachWeighted; FIFO among
+// equal weights), so the expensive grids — fig. 7's DP-SGD cells, the
+// big-block workload sweeps — start early instead of becoming the
+// straggler tail after every cheap batch has drained.
+// cmd/sage-experiments -pipeline installs the pool for -exp all,
+// running the experiments concurrently so the tail of one grid overlaps
+// the head of the next instead of idling at a per-experiment barrier;
+// buffered per-experiment output keeps stdout byte-identical to a
+// sequential run. Because scheduling never feeds randomness,
+// interleaving whole experiments is as invisible as interleaving cells
+// — pinned by the shared-pool determinism test.
 //
 // DP-SGD noise calibration (privacy.CalibrateSGDNoise) is memoized
 // process-wide by (N, BatchSize, Epochs, ε, δ): the sweeps re-run
@@ -157,6 +162,49 @@
 // tests in internal/durable cut the logs at every record boundary (and
 // corrupt every record's checksum in turn) and pin both exact-state
 // recovery and the never-under-count invariant.
+//
+// The write path scales with cores because the paper's block
+// composition theorem makes per-block state independent: only the
+// global (εg, δg) ceiling is shared. core.AccessControl stripes its
+// block map into N shards keyed by core.ShardOf (a Fibonacci hash of
+// the block id — a stable on-disk contract, since it decides which WAL
+// segment a block's records live in). Each shard has its own mutex and
+// journal; the ceiling lives in shared atomic watermarks, reserved
+// all-or-nothing before any shard lock is taken and rolled back on
+// refusal, so no interleaving of concurrent charges can race past εg.
+// Multi-shard operations lock shards in index order and journal one
+// sub-record per touched shard; awaiting all segment flushes
+// concurrently means a cross-shard op pays the slowest flush, not the
+// sum.
+//
+// Durability amortizes two ways. Per segment, wal.Log group-commits:
+// concurrent appenders stage frames into a batch chain, exactly one
+// waiter is elected driver (it rides out the predecessor batch, lingers
+// while runnable appenders pile on, then seals), and the whole cohort
+// is acknowledged by one write(2) + one flush. Across segments,
+// wal.SyncGroup replaces per-file fdatasync — which serializes on the
+// filesystem journal — with one filesystem-wide syncfs covering every
+// cohort member's writes (a member joins only after its write(2)
+// returns; the cohort seals before the flush, so coverage is exact).
+// Journal-before-acknowledge is preserved bit-for-bit: no appender is
+// unblocked before the flush that covers its frame returns, and a
+// failed flush poisons the log (and group) rather than acking
+// non-durable writes. On platforms without syncfs, durable.Open falls
+// back to per-file sync.
+//
+// Recovery replays segments shard-by-shard in segment-index order;
+// no cross-segment ordering is needed because shards share no per-block
+// state and the ceiling is recomputed from the merged blocks. The
+// segment count is fixed when the directory is created (the on-disk
+// layout always wins over the configured shard count — ShardOf(id, N)
+// must keep meaning the same file), and a mixed or ambiguous layout
+// fails open loudly. A crash may leave segments flushed unevenly; the
+// fault-injection tests cut one segment at every boundary while others
+// stay whole and require untouched shards to recover byte-exact and the
+// cut shard to never under-count acknowledged spend. The contended
+// write path is gated by BenchmarkLedgerParallelCharge
+// (BENCH_ledger.json): 8 shards + group commit + SyncGroup measure
+// ~4-5x over the single-mutex/single-fd baseline on one disk.
 //
 // # Continuous operation: sagectl daemon
 //

@@ -11,11 +11,30 @@
 // stream is the maximum per-block loss, so fresh blocks restore the
 // platform's ability to train: Sage never runs out of budget as long as
 // the database grows fast enough.
+//
+// # Sharding
+//
+// The block composition theorem is also a concurrency theorem: each
+// block's budget is independent state, and the only stream-wide quantity
+// is the max per-block loss. The ledger exploits that by striping blocks
+// across N shards keyed by block id (NewShardedAccessControl), each with
+// its own mutex and block map, so charges against disjoint blocks
+// proceed in parallel. Operations naming blocks in several shards lock
+// the involved shards in ascending index order (deadlock-free) and hold
+// them all across the check/journal/deduct sequence, which preserves the
+// all-or-nothing admission the ceiling proof needs: no interleaved
+// charge can slip between this request's checks and its deductions. The
+// stream-wide loss is additionally tracked by a pair of shared atomics —
+// a monotone high-watermark updated with CAS-max on every spend
+// (StreamLossWatermark) — so the global ceiling can be observed without
+// stopping the world.
 package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/data"
 	"repro/internal/privacy"
@@ -64,32 +83,87 @@ type blockState struct {
 	reason RetireReason
 }
 
+// shard is one stripe of the ledger: a mutex and the block states that
+// hash to it. All fields are guarded by mu.
+type shard struct {
+	mu     sync.Mutex
+	blocks map[data.BlockID]*blockState
+}
+
 // AccessControl is Sage's DP access-control layer for one sensitive
 // stream (the "Sage Access Control" box of Fig. 2). It is safe for
 // concurrent use: Request atomically checks and deducts budget across all
 // blocks involved in a query, which is what makes adaptively chosen block
-// sets sound (Alg. 4c, lines 7-8).
+// sets sound (Alg. 4c, lines 7-8). Blocks are striped across shards (see
+// the package docs); NewAccessControl gives one shard,
+// NewShardedAccessControl stripes wider for contended write paths.
 type AccessControl struct {
-	mu       sync.Mutex
-	policy   Policy
-	blocks   map[data.BlockID]*blockState
+	policy Policy
+	shards []*shard
+
+	// cfgMu guards the configuration hooks, which are installed at
+	// setup (before traffic) and read on every mutation.
+	cfgMu    sync.RWMutex
 	onRetire func(data.BlockID)
-	// journal, when set (SetJournal), receives every mutation before it
-	// is applied or acknowledged — the ledger half of the durable
-	// platform core (see journal.go for the crash-consistency argument).
-	journal func(LedgerRecord) error
+	// stage, when set (SetShardJournal / SetJournal), receives every
+	// mutation before it is applied or acknowledged — the ledger half of
+	// the durable platform core (see journal.go for the
+	// crash-consistency argument). Multi-shard mutations are split into
+	// one sub-record per involved shard.
+	stage JournalStageFunc
+
+	// watermarkEps/Delta hold math.Float64bits of the largest per-block
+	// loss components ever observed — the shared-atomic view of the
+	// global ceiling. Non-negative float64s compare like their bit
+	// patterns, so CAS-max on the bits is CAS-max on the values.
+	watermarkEps   atomic.Uint64
+	watermarkDelta atomic.Uint64
 }
 
-// NewAccessControl returns an access-control layer enforcing the policy.
+// NewAccessControl returns an access-control layer enforcing the policy,
+// with a single shard — the right default for tests, tools, and
+// uncontended streams.
 func NewAccessControl(policy Policy) *AccessControl {
+	return NewShardedAccessControl(policy, 1)
+}
+
+// NewShardedAccessControl returns an access-control layer whose blocks
+// are striped across nshards independent stripes. Panics if nshards < 1.
+func NewShardedAccessControl(policy Policy, nshards int) *AccessControl {
 	if err := policy.Global.Validate(); err != nil {
 		panic(err)
 	}
 	if policy.Global.Epsilon <= 0 {
 		panic("core: policy requires εg > 0")
 	}
-	return &AccessControl{policy: policy, blocks: make(map[data.BlockID]*blockState)}
+	if nshards < 1 {
+		panic("core: shard count must be >= 1")
+	}
+	ac := &AccessControl{policy: policy, shards: make([]*shard, nshards)}
+	for i := range ac.shards {
+		ac.shards[i] = &shard{blocks: make(map[data.BlockID]*blockState)}
+	}
+	return ac
 }
+
+// shardMix spreads block ids across shards (Fibonacci hashing) so that
+// sequential ids — daily blocks, dense user ids — do not stride into one
+// stripe.
+const shardMix = 0x9E3779B97F4A7C15
+
+// ShardOf returns the shard index a block id maps to. The mapping is a
+// pure function of (id, NumShards) and must stay stable across releases:
+// internal/durable gives each shard its own WAL segment, so changing the
+// mapping would replay a block's records into the wrong segment order.
+func (ac *AccessControl) ShardOf(id data.BlockID) int {
+	if len(ac.shards) == 1 {
+		return 0
+	}
+	return int((uint64(id) * shardMix) % uint64(len(ac.shards)))
+}
+
+// NumShards returns the number of stripes the ledger was created with.
+func (ac *AccessControl) NumShards() int { return len(ac.shards) }
 
 // Policy returns the enforced policy.
 func (ac *AccessControl) Policy() Policy { return ac.policy }
@@ -98,9 +172,138 @@ func (ac *AccessControl) Policy() Policy { return ac.policy }
 // the lock held by callers' view) whenever a block is retired. Sage's
 // DP-informed retention policy hooks deletion of the raw data here.
 func (ac *AccessControl) SetRetireCallback(f func(data.BlockID)) {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.cfgMu.Lock()
+	defer ac.cfgMu.Unlock()
 	ac.onRetire = f
+}
+
+// retireCallback returns the installed retirement hook.
+func (ac *AccessControl) retireCallback() func(data.BlockID) {
+	ac.cfgMu.RLock()
+	defer ac.cfgMu.RUnlock()
+	return ac.onRetire
+}
+
+// noteLoss folds one block's post-mutation loss into the shared atomic
+// stream-loss watermark.
+func (ac *AccessControl) noteLoss(l privacy.Budget) {
+	atomicMaxFloat(&ac.watermarkEps, l.Epsilon)
+	atomicMaxFloat(&ac.watermarkDelta, l.Delta)
+}
+
+// atomicMaxFloat raises a to at least v (v non-negative) with CAS-max on
+// the float's bit pattern.
+func atomicMaxFloat(a *atomic.Uint64, v float64) {
+	if v <= 0 {
+		return
+	}
+	bits := math.Float64bits(v)
+	for {
+		cur := a.Load()
+		if cur >= bits {
+			return
+		}
+		if a.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
+}
+
+// StreamLossWatermark returns a monotone upper bound on the stream's
+// privacy loss, read from shared atomics without taking any shard lock:
+// the largest per-block (ε, δ) components ever reached. Unlike
+// StreamLoss it never decreases when budget is refunded, and it is never
+// torn — each component is a single atomic load. By the admission
+// checks it can never exceed the global ceiling; the race test in
+// shard_test.go pins that.
+func (ac *AccessControl) StreamLossWatermark() privacy.Budget {
+	return privacy.Budget{
+		Epsilon: math.Float64frombits(ac.watermarkEps.Load()),
+		Delta:   math.Float64frombits(ac.watermarkDelta.Load()),
+	}
+}
+
+// shardGroup is the slice of one operation's block ids that live in one
+// shard, in the operation's (deduplicated) order.
+type shardGroup struct {
+	shard int
+	ids   []data.BlockID
+}
+
+// groupByShard buckets ids by shard, returning groups in ascending shard
+// order — the lock acquisition order for multi-shard operations.
+func (ac *AccessControl) groupByShard(ids []data.BlockID) []shardGroup {
+	if len(ac.shards) == 1 {
+		return []shardGroup{{shard: 0, ids: ids}}
+	}
+	perShard := make([][]data.BlockID, len(ac.shards))
+	for _, id := range ids {
+		k := ac.ShardOf(id)
+		perShard[k] = append(perShard[k], id)
+	}
+	groups := make([]shardGroup, 0, 4)
+	for k, g := range perShard {
+		if len(g) > 0 {
+			groups = append(groups, shardGroup{shard: k, ids: g})
+		}
+	}
+	return groups
+}
+
+// lockGroups acquires the involved shards' locks in ascending index
+// order (groups are sorted by construction).
+func (ac *AccessControl) lockGroups(groups []shardGroup) {
+	for _, g := range groups {
+		ac.shards[g.shard].mu.Lock()
+	}
+}
+
+func (ac *AccessControl) unlockGroups(groups []shardGroup) {
+	for _, g := range groups {
+		ac.shards[g.shard].mu.Unlock()
+	}
+}
+
+// lockAll acquires every shard lock in ascending order — used by
+// whole-ledger reads (Snapshot) that need one consistent cut.
+func (ac *AccessControl) lockAll() {
+	for _, sh := range ac.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (ac *AccessControl) unlockAll() {
+	for _, sh := range ac.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// awaitAll waits on every journal durability ticket and returns the
+// first error. Every ticket is always awaited — an abandoned ticket
+// would leave a staged group-commit batch without a driver. Tickets
+// are awaited concurrently: each Wait may itself drive a segment's
+// group commit, and a multi-shard operation's latency should be the
+// slowest segment's flush, not the sum of all of them.
+func awaitAll(waits []func() error) error {
+	if len(waits) == 1 {
+		return waits[0]()
+	}
+	errs := make([]error, len(waits))
+	var wg sync.WaitGroup
+	for i, w := range waits {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RegisterBlock makes a new block known to the access control with a
@@ -110,23 +313,37 @@ func (ac *AccessControl) SetRetireCallback(f func(data.BlockID)) {
 // ledger that cannot journal must stop rather than diverge from its
 // log.
 func (ac *AccessControl) RegisterBlock(id data.BlockID) bool {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	if _, ok := ac.blocks[id]; ok {
+	k := ac.ShardOf(id)
+	sh := ac.shards[k]
+	sh.mu.Lock()
+	if _, ok := sh.blocks[id]; ok {
+		sh.mu.Unlock()
 		return false
 	}
-	if err := ac.journalLocked(LedgerRecord{Op: LedgerRegister, Blocks: []data.BlockID{id}}); err != nil {
+	wait, err := ac.stageLocked(k, LedgerRecord{Op: LedgerRegister, Blocks: []data.BlockID{id}})
+	if err != nil {
+		sh.mu.Unlock()
 		panic(err)
 	}
-	ac.blocks[id] = &blockState{acct: privacy.NewAccountant(ac.policy.Arithmetic)}
+	sh.blocks[id] = &blockState{acct: privacy.NewAccountant(ac.policy.Arithmetic)}
+	sh.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			panic(fmt.Errorf("core: journal %s: %w", LedgerRegister, err))
+		}
+	}
 	return true
 }
 
 // NumBlocks returns the number of registered blocks.
 func (ac *AccessControl) NumBlocks() int {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	return len(ac.blocks)
+	n := 0
+	for _, sh := range ac.shards {
+		sh.mu.Lock()
+		n += len(sh.blocks)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ErrUnknownBlock is returned when a request names an unregistered block.
@@ -201,6 +418,12 @@ func dedupIDs(ids []data.BlockID) []data.BlockID {
 // checking per occurrence against pre-spend state — the old behavior —
 // let a request naming a block k times overshoot the ceiling by a factor
 // of k.)
+//
+// With blocks spanning several shards, every involved shard is locked
+// (ascending order) for the whole check/journal/deduct sequence — the
+// all-or-nothing multi-shard reservation that keeps the ceiling
+// invariant un-raceable — and the journal record is split into one
+// sub-record per shard so each record lands in its shard's WAL segment.
 func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("core: request names no blocks")
@@ -212,53 +435,79 @@ func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 		return nil
 	}
 	ids = uniqueIDs(ids)
-	ac.mu.Lock()
+	groups := ac.groupByShard(ids)
+	cb := ac.retireCallback()
 	var retiredNow []data.BlockID
+	var waits []func() error
+	ac.lockGroups(groups)
 	err := func() error {
-		// Phase 1: check every block.
-		for _, id := range ids {
-			st, ok := ac.blocks[id]
-			if !ok {
-				return ErrUnknownBlock{ID: id}
-			}
-			if st.retired || st.acct.WouldExceed(b, ac.policy.Global) {
-				return ErrBlockExhausted{
-					ID:        id,
-					Requested: b,
-					Remaining: ac.policy.Global.Sub(st.acct.Loss()),
+		// Phase 1: check every block, across every involved shard.
+		for _, g := range groups {
+			sh := ac.shards[g.shard]
+			for _, id := range g.ids {
+				st, ok := sh.blocks[id]
+				if !ok {
+					return ErrUnknownBlock{ID: id}
+				}
+				if st.retired || st.acct.WouldExceed(b, ac.policy.Global) {
+					return ErrBlockExhausted{
+						ID:        id,
+						Requested: b,
+						Remaining: ac.policy.Global.Sub(st.acct.Loss()),
+					}
 				}
 			}
 		}
-		// Journal point: the request is admissible. The spend record
-		// hits the write-ahead log *before* any deduction is applied or
-		// the caller acknowledged, so a crash from here on can only
-		// leave the recovered ledger with this spend applied-but-
-		// unacknowledged — conservative, never the reverse. A journal
-		// failure aborts with no budget deducted.
-		if err := ac.journalLocked(LedgerRecord{Op: LedgerRequest, Blocks: ids, Budget: b}); err != nil {
-			return err
+		// Journal point: the request is admissible. One sub-record per
+		// involved shard is staged in its shard's journal *before* any
+		// deduction is applied or the caller acknowledged, so a crash
+		// from here on can only leave the recovered ledger with (part
+		// of) this spend applied-but-unacknowledged — conservative,
+		// never the reverse. A staging failure aborts with no budget
+		// deducted; already-staged sub-records then recover as unacked
+		// over-counted spend, which is the allowed direction.
+		for _, g := range groups {
+			w, err := ac.stageLocked(g.shard, LedgerRecord{Op: LedgerRequest, Blocks: g.ids, Budget: b})
+			if err != nil {
+				return err
+			}
+			if w != nil {
+				waits = append(waits, w)
+			}
 		}
 		// Phase 2: deduct everywhere.
-		for _, id := range ids {
-			st := ac.blocks[id]
-			st.acct.Spend(b)
-			if ac.shouldRetire(st) {
-				st.retired = true
-				st.reason = RetireBudgetExhausted
-				// With a retention hook registered, the callback below
-				// deletes the block's raw data: the retirement becomes
-				// irreversible even if budget is refunded later.
-				if ac.onRetire != nil {
-					st.sticky = true
-					st.reason = RetireDataDeleted
+		for _, g := range groups {
+			sh := ac.shards[g.shard]
+			for _, id := range g.ids {
+				st := sh.blocks[id]
+				st.acct.Spend(b)
+				ac.noteLoss(st.acct.Loss())
+				if ac.shouldRetire(st) {
+					st.retired = true
+					st.reason = RetireBudgetExhausted
+					// With a retention hook registered, the callback below
+					// deletes the block's raw data: the retirement becomes
+					// irreversible even if budget is refunded later.
+					if cb != nil {
+						st.sticky = true
+						st.reason = RetireDataDeleted
+					}
+					retiredNow = append(retiredNow, id)
 				}
-				retiredNow = append(retiredNow, id)
 			}
 		}
 		return nil
 	}()
-	cb := ac.onRetire
-	ac.mu.Unlock()
+	ac.unlockGroups(groups)
+	// Durability wait happens outside the shard locks: that is what lets
+	// concurrent requests on the same shard stage into the same group-
+	// commit batch instead of serializing one fdatasync each. A wait
+	// failure means the spend may not be on disk — the caller is not
+	// acknowledged (error return) and retirement side effects are
+	// withheld; the in-memory deduction stands, which is conservative.
+	if werr := awaitAll(waits); err == nil {
+		err = werr
+	}
 	if err == nil && cb != nil {
 		for _, id := range retiredNow {
 			cb(id)
@@ -270,7 +519,7 @@ func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 // shouldRetire reports whether a block has no usable budget left. A block
 // is retired once the smallest meaningful request (ε = εg/1000) would
 // exceed the ceiling; the paper retires blocks whose loss reaches the
-// ceiling. Caller holds mu.
+// ceiling. Caller holds the block's shard lock.
 func (ac *AccessControl) shouldRetire(st *blockState) bool {
 	probe := privacy.Budget{Epsilon: ac.policy.Global.Epsilon / 1000}
 	return st.acct.WouldExceed(probe, ac.policy.Global)
@@ -295,52 +544,76 @@ func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 		return nil
 	}
 	ids = uniqueIDs(ids)
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	// Phase 1: validate every block before touching any of them.
-	for _, id := range ids {
-		if _, ok := ac.blocks[id]; !ok {
-			return ErrUnknownBlock{ID: id}
+	groups := ac.groupByShard(ids)
+	var waits []func() error
+	ac.lockGroups(groups)
+	err := func() error {
+		// Phase 1: validate every block before touching any of them.
+		for _, g := range groups {
+			sh := ac.shards[g.shard]
+			for _, id := range g.ids {
+				if _, ok := sh.blocks[id]; !ok {
+					return ErrUnknownBlock{ID: id}
+				}
+			}
 		}
-	}
-	// Journal before applying: a refund that reaches the log without
-	// its acknowledgement only under-counts relative to the *reserved*
-	// budget, never the consumed one — the matching Request is already
-	// in the log (journal order is lock order), and a refund never
-	// exceeds that reservation's unconsumed remainder.
-	if err := ac.journalLocked(LedgerRecord{Op: LedgerRefund, Blocks: ids, Budget: b}); err != nil {
-		return err
-	}
-	// Phase 2: refund everywhere.
-	for _, id := range ids {
-		st := ac.blocks[id]
-		st.acct.Refund(b)
-		if !st.sticky && !ac.shouldRetire(st) {
-			st.retired = false
-			st.reason = RetireNone
+		// Journal before applying: a refund that reaches the log without
+		// its acknowledgement only under-counts relative to the *reserved*
+		// budget, never the consumed one — the matching Request is already
+		// in the same shard's log (sub-records are split by shard, and
+		// journal order within a shard is lock order), and a refund never
+		// exceeds that reservation's unconsumed remainder.
+		for _, g := range groups {
+			w, err := ac.stageLocked(g.shard, LedgerRecord{Op: LedgerRefund, Blocks: g.ids, Budget: b})
+			if err != nil {
+				return err
+			}
+			if w != nil {
+				waits = append(waits, w)
+			}
 		}
+		// Phase 2: refund everywhere.
+		for _, g := range groups {
+			sh := ac.shards[g.shard]
+			for _, id := range g.ids {
+				st := sh.blocks[id]
+				st.acct.Refund(b)
+				if !st.sticky && !ac.shouldRetire(st) {
+					st.retired = false
+					st.reason = RetireNone
+				}
+			}
+		}
+		return nil
+	}()
+	ac.unlockGroups(groups)
+	if werr := awaitAll(waits); err == nil {
+		err = werr
 	}
-	return nil
+	return err
 }
 
 // Retire forcibly retires a block regardless of remaining budget. Forced
 // retirement is sticky: no refund can reverse it.
 func (ac *AccessControl) Retire(id data.BlockID) error {
-	ac.mu.Lock()
-	st, ok := ac.blocks[id]
+	k := ac.ShardOf(id)
+	sh := ac.shards[k]
+	sh.mu.Lock()
+	st, ok := sh.blocks[id]
 	if !ok {
-		ac.mu.Unlock()
+		sh.mu.Unlock()
 		return ErrUnknownBlock{ID: id}
 	}
 	// A block that is already sticky-retired cannot change state (the
 	// reason is already forced or retention-deleted): pure no-op, not
 	// journaled — same rule as re-registering an existing block.
 	if st.retired && st.sticky {
-		ac.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	if err := ac.journalLocked(LedgerRecord{Op: LedgerRetire, Blocks: []data.BlockID{id}}); err != nil {
-		ac.mu.Unlock()
+	wait, err := ac.stageLocked(k, LedgerRecord{Op: LedgerRetire, Blocks: []data.BlockID{id}})
+	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	already := st.retired
@@ -352,8 +625,13 @@ func (ac *AccessControl) Retire(id data.BlockID) error {
 	if st.reason != RetireDataDeleted {
 		st.reason = RetireForced
 	}
-	cb := ac.onRetire
-	ac.mu.Unlock()
+	cb := ac.retireCallback()
+	sh.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return err
+		}
+	}
 	if !already && cb != nil {
 		cb(id)
 	}
@@ -362,18 +640,20 @@ func (ac *AccessControl) Retire(id data.BlockID) error {
 
 // Retired reports whether a block has been retired.
 func (ac *AccessControl) Retired(id data.BlockID) bool {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	st, ok := ac.blocks[id]
+	sh := ac.shards[ac.ShardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.blocks[id]
 	return ok && st.retired
 }
 
 // BlockLoss returns a block's cumulative privacy loss under the policy's
 // arithmetic (zero for unknown blocks).
 func (ac *AccessControl) BlockLoss(id data.BlockID) privacy.Budget {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	st, ok := ac.blocks[id]
+	sh := ac.shards[ac.ShardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.blocks[id]
 	if !ok {
 		return privacy.Zero
 	}
@@ -384,9 +664,10 @@ func (ac *AccessControl) BlockLoss(id data.BlockID) privacy.Budget {
 // computed as ceiling − loss. Under basic composition this is exact;
 // under strong composition it understates what is actually spendable.
 func (ac *AccessControl) Remaining(id data.BlockID) privacy.Budget {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	st, ok := ac.blocks[id]
+	sh := ac.shards[ac.ShardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.blocks[id]
 	if !ok || st.retired {
 		return privacy.Zero
 	}
@@ -396,38 +677,77 @@ func (ac *AccessControl) Remaining(id data.BlockID) privacy.Budget {
 // AvailableBlocks returns the registered, non-retired blocks that can
 // still afford a request of at least the given budget, filtered from the
 // candidate list (pass a GrowingDatabase's Blocks()). Order is preserved.
+// Each candidate is evaluated under its own shard's lock, so no block's
+// state is ever read torn; across shards the view is per-block
+// consistent (the set may interleave with racing charges, as any
+// point-in-time filter must).
 func (ac *AccessControl) AvailableBlocks(candidates []data.BlockID, atLeast privacy.Budget) []data.BlockID {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	var out []data.BlockID
-	for _, id := range candidates {
-		st, ok := ac.blocks[id]
-		if !ok || st.retired {
-			continue
+	keep := make([]bool, len(candidates))
+	ac.forEachShardOf(candidates, func(sh *shard, idx []int) {
+		for _, i := range idx {
+			st, ok := sh.blocks[candidates[i]]
+			keep[i] = ok && !st.retired && !st.acct.WouldExceed(atLeast, ac.policy.Global)
 		}
-		if !st.acct.WouldExceed(atLeast, ac.policy.Global) {
-			out = append(out, id)
+	})
+	var out []data.BlockID
+	for i, k := range keep {
+		if k {
+			out = append(out, candidates[i])
 		}
 	}
 	return out
 }
 
+// forEachShardOf groups the candidate indexes by shard and runs fn once
+// per involved shard under that shard's lock (one lock held at a time).
+func (ac *AccessControl) forEachShardOf(ids []data.BlockID, fn func(sh *shard, idx []int)) {
+	if len(ac.shards) == 1 {
+		sh := ac.shards[0]
+		idx := make([]int, len(ids))
+		for i := range ids {
+			idx[i] = i
+		}
+		sh.mu.Lock()
+		fn(sh, idx)
+		sh.mu.Unlock()
+		return
+	}
+	perShard := make([][]int, len(ac.shards))
+	for i, id := range ids {
+		k := ac.ShardOf(id)
+		perShard[k] = append(perShard[k], i)
+	}
+	for k, idx := range perShard {
+		if len(idx) == 0 {
+			continue
+		}
+		sh := ac.shards[k]
+		sh.mu.Lock()
+		fn(sh, idx)
+		sh.mu.Unlock()
+	}
+}
+
 // StreamLoss returns the privacy loss of the entire stream: by
 // Theorem 4.2 it is the maximum cumulative loss over blocks, so the
 // stream-wide guarantee is (εg, δg)-DP as long as every block stays under
-// the ceiling (Theorem 4.3).
+// the ceiling (Theorem 4.3). Shards are scanned one lock at a time: each
+// block's loss is read consistently, and at quiescence the result is
+// exact. For a lock-free monotone bound see StreamLossWatermark.
 func (ac *AccessControl) StreamLoss() privacy.Budget {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
 	max := privacy.Zero
-	for _, st := range ac.blocks {
-		l := st.acct.Loss()
-		if l.Epsilon > max.Epsilon {
-			max.Epsilon = l.Epsilon
+	for _, sh := range ac.shards {
+		sh.mu.Lock()
+		for _, st := range sh.blocks {
+			l := st.acct.Loss()
+			if l.Epsilon > max.Epsilon {
+				max.Epsilon = l.Epsilon
+			}
+			if l.Delta > max.Delta {
+				max.Delta = l.Delta
+			}
 		}
-		if l.Delta > max.Delta {
-			max.Delta = l.Delta
-		}
+		sh.mu.Unlock()
 	}
 	return max
 }
@@ -445,29 +765,39 @@ type BlockReport struct {
 	Reason RetireReason
 }
 
-// Report returns per-block accounting state for the given blocks.
+// Report returns per-block accounting state for the given blocks, in
+// their given order (unknown blocks are skipped). Each block's row is
+// built under its shard's lock, so a row is never torn — loss, retired,
+// and reason are one consistent read.
 func (ac *AccessControl) Report(ids []data.BlockID) []BlockReport {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	rows := make([]*BlockReport, len(ids))
+	ac.forEachShardOf(ids, func(sh *shard, idx []int) {
+		for _, i := range idx {
+			id := ids[i]
+			st, ok := sh.blocks[id]
+			if !ok {
+				continue
+			}
+			loss := st.acct.Loss()
+			remain := ac.policy.Global.Sub(loss)
+			if st.retired {
+				remain = privacy.Zero
+			}
+			rows[i] = &BlockReport{
+				ID:      id,
+				Loss:    loss,
+				Remain:  remain,
+				Queries: st.acct.NumSpends(),
+				Retired: st.retired,
+				Reason:  st.reason,
+			}
+		}
+	})
 	out := make([]BlockReport, 0, len(ids))
-	for _, id := range ids {
-		st, ok := ac.blocks[id]
-		if !ok {
-			continue
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
 		}
-		loss := st.acct.Loss()
-		remain := ac.policy.Global.Sub(loss)
-		if st.retired {
-			remain = privacy.Zero
-		}
-		out = append(out, BlockReport{
-			ID:      id,
-			Loss:    loss,
-			Remain:  remain,
-			Queries: st.acct.NumSpends(),
-			Retired: st.retired,
-			Reason:  st.reason,
-		})
 	}
 	return out
 }

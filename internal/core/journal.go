@@ -108,19 +108,47 @@ func DecodeLedgerRecord(raw []byte) (LedgerRecord, error) {
 	return rec, nil
 }
 
-// SetJournal installs the write-ahead journal. Every subsequent
-// mutation calls it, under the ledger lock, before any state changes or
-// the caller is acknowledged; a non-nil return aborts the mutation.
-// Install the journal *after* replaying recovered records — replay uses
-// the public mutation methods, and a set journal would re-journal them.
-// RegisterBlock and Publish-style paths that cannot surface an error
-// treat a journal failure as fatal (panic): a durable ledger that can
-// no longer journal must stop taking mutations rather than silently
-// diverge from its log.
+// JournalStageFunc is the sharded, staged journal interface. The ledger
+// calls it under the named shard's lock with one sub-record whose blocks
+// all map to that shard; a multi-shard mutation is split into one call
+// per involved shard. Staging must make the record's eventual durability
+// inevitable-or-failed: the returned wait func blocks until the record
+// is durable (or the write failed) and is called by the ledger *after*
+// releasing the shard locks — that is what lets concurrent mutations on
+// one shard share a group-commit fdatasync. A nil wait means the record
+// was made durable synchronously. A non-nil error from staging aborts
+// the mutation with no state applied.
+type JournalStageFunc func(shard int, rec LedgerRecord) (wait func() error, err error)
+
+// SetJournal installs a synchronous write-ahead journal. Every
+// subsequent mutation calls it, under the mutated shard's lock, before
+// any state changes or the caller is acknowledged; a non-nil return
+// aborts the mutation. Multi-shard mutations are split into one
+// sub-record per involved shard (with a single shard — NewAccessControl
+// — every record arrives whole, which is what the journal-order tests
+// pin). Install the journal *after* replaying recovered records —
+// replay uses the public mutation methods, and a set journal would
+// re-journal them. RegisterBlock and Publish-style paths that cannot
+// surface an error treat a journal failure as fatal (panic): a durable
+// ledger that can no longer journal must stop taking mutations rather
+// than silently diverge from its log.
 func (ac *AccessControl) SetJournal(journal func(LedgerRecord) error) {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	ac.journal = journal
+	if journal == nil {
+		ac.SetShardJournal(nil)
+		return
+	}
+	ac.SetShardJournal(func(_ int, rec LedgerRecord) (func() error, error) {
+		return nil, journal(rec)
+	})
+}
+
+// SetShardJournal installs the staged, shard-aware journal (see
+// JournalStageFunc). internal/durable binds each shard to its own WAL
+// segment here; SetJournal is the single-segment convenience wrapper.
+func (ac *AccessControl) SetShardJournal(stage JournalStageFunc) {
+	ac.cfgMu.Lock()
+	defer ac.cfgMu.Unlock()
+	ac.stage = stage
 }
 
 // Blocks returns every registered block ID in ascending order — the
@@ -128,12 +156,27 @@ func (ac *AccessControl) SetJournal(journal func(LedgerRecord) error) {
 // GrowingDatabase is empty; the ledger is what remembers the stream's
 // extent).
 func (ac *AccessControl) Blocks() []data.BlockID {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	out := make([]data.BlockID, 0, len(ac.blocks))
-	for id := range ac.blocks {
+	var out []data.BlockID
+	for _, sh := range ac.shards {
+		sh.mu.Lock()
+		for id := range sh.blocks {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ShardBlocks returns shard k's registered block IDs in ascending order.
+func (ac *AccessControl) ShardBlocks(k int) []data.BlockID {
+	sh := ac.shards[k]
+	sh.mu.Lock()
+	out := make([]data.BlockID, 0, len(sh.blocks))
+	for id := range sh.blocks {
 		out = append(out, id)
 	}
+	sh.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -149,18 +192,41 @@ const snapshotVersion = 1
 // configuration, supplied by the operator at open, and RestoreSnapshot
 // validates state against it.
 func (ac *AccessControl) Snapshot() []byte {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	ids := make([]data.BlockID, 0, len(ac.blocks))
-	for id := range ac.blocks {
+	ac.lockAll()
+	defer ac.unlockAll()
+	var ids []data.BlockID
+	for _, sh := range ac.shards {
+		for id := range sh.blocks {
+			ids = append(ids, id)
+		}
+	}
+	return ac.encodeSnapshotLocked(ids)
+}
+
+// SnapshotShard returns the canonical serialization of shard k's blocks
+// only — the per-segment compaction record (internal/durable writes one
+// per WAL segment). The format is identical to Snapshot's;
+// RestoreSnapshot merges, so replaying one snapshot per segment
+// reassembles the full ledger.
+func (ac *AccessControl) SnapshotShard(k int) []byte {
+	sh := ac.shards[k]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ids := make([]data.BlockID, 0, len(sh.blocks))
+	for id := range sh.blocks {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ac.encodeSnapshotLocked(ids)
+}
 
+// encodeSnapshotLocked serializes the given blocks' state in ascending
+// id order. Caller holds the locks of every shard the ids map to.
+func (ac *AccessControl) encodeSnapshotLocked(ids []data.BlockID) []byte {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	buf := AppendUint(nil, snapshotVersion)
 	buf = AppendUint(buf, uint64(len(ids)))
 	for _, id := range ids {
-		st := ac.blocks[id]
+		st := ac.shards[ac.ShardOf(id)].blocks[id]
 		buf = AppendUint(buf, uint64(id))
 		var flags byte
 		if st.retired {
@@ -181,10 +247,16 @@ func (ac *AccessControl) Snapshot() []byte {
 	return buf
 }
 
-// RestoreSnapshot replaces the ledger's block state with a snapshot
-// produced by Snapshot. It is the recovery path's first step (journal
-// records recorded after the snapshot replay on top); calling it on a
-// ledger that already has state discards that state.
+// RestoreSnapshot merges a snapshot produced by Snapshot or
+// SnapshotShard into the ledger: every block named in the snapshot is
+// replaced wholesale with its snapshotted state; blocks not named are
+// left untouched. It is the recovery path's first step in each WAL
+// segment (journal records recorded after the snapshot replay on top).
+// Merge — rather than replace-all — is what makes multi-segment
+// recovery compose: each segment opens with a snapshot of its own
+// shard's blocks, and restoring segment k must not discard the blocks
+// segments 0..k-1 already rebuilt. On a fresh ledger (the only place
+// recovery starts) merging into the empty map is a plain restore.
 func (ac *AccessControl) RestoreSnapshot(snap []byte) error {
 	c := NewCursor(snap)
 	if v := c.Uint(); c.Err() == nil && v != snapshotVersion {
@@ -240,21 +312,40 @@ func (ac *AccessControl) RestoreSnapshot(snap []byte) error {
 	if c.Remaining() != 0 {
 		return fmt.Errorf("core: ledger snapshot: %d trailing bytes", c.Remaining())
 	}
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
-	ac.blocks = blocks
+	ac.lockAll()
+	for id, st := range blocks {
+		ac.shards[ac.ShardOf(id)].blocks[id] = st
+		ac.noteLoss(st.acct.Loss())
+	}
+	ac.unlockAll()
 	return nil
 }
 
-// journalLocked writes one record through the installed journal (no-op
-// when none is installed). Caller holds mu. A non-nil error means the
-// mutation must not proceed.
-func (ac *AccessControl) journalLocked(rec LedgerRecord) error {
-	if ac.journal == nil {
+// stageLocked stages one record through the installed journal (no-op
+// when none is installed), returning the durability wait the caller
+// must invoke after releasing the shard locks (nil when durability was
+// synchronous). Caller holds the shard's lock, and every block in rec
+// maps to that shard. A non-nil error means the mutation must not
+// proceed.
+func (ac *AccessControl) stageLocked(shard int, rec LedgerRecord) (func() error, error) {
+	ac.cfgMu.RLock()
+	stage := ac.stage
+	ac.cfgMu.RUnlock()
+	if stage == nil {
+		return nil, nil
+	}
+	wait, err := stage(shard, rec)
+	if err != nil {
+		return nil, fmt.Errorf("core: journal %s: %w", rec.Op, err)
+	}
+	if wait == nil {
+		return nil, nil
+	}
+	op := rec.Op
+	return func() error {
+		if err := wait(); err != nil {
+			return fmt.Errorf("core: journal %s: %w", op, err)
+		}
 		return nil
-	}
-	if err := ac.journal(rec); err != nil {
-		return fmt.Errorf("core: journal %s: %w", rec.Op, err)
-	}
-	return nil
+	}, nil
 }

@@ -122,6 +122,18 @@ type Config struct {
 	MaxTicks int
 	// CompactEvery compacts the WALs every N ticks (default 64).
 	CompactEvery int
+	// CompactBytes additionally compacts any individual WAL (a ledger
+	// segment or the store log) whose on-disk size exceeds this many
+	// bytes, checked every tick. It bounds recovery time by log size
+	// rather than by tick cadence — a write-heavy shard is compacted as
+	// soon as it is oversized instead of waiting out the CompactEvery
+	// countdown. 0 disables the size trigger.
+	CompactBytes int64
+	// LedgerShards stripes the privacy ledger (and its WAL, one segment
+	// per shard) N ways for concurrent charge throughput. Only consulted
+	// when the directory is created: an existing directory's on-disk
+	// layout wins. Default 1.
+	LedgerShards int
 	// NoSync disables per-append fsync (tests only).
 	NoSync bool
 	// DrainTimeout bounds the final replica sync during Close (0 = no
@@ -224,7 +236,8 @@ func New(cfg Config) (*Daemon, durable.Stats, error) {
 	d := &Daemon{cfg: cfg}
 	d.db = data.NewGrowingDatabase(data.TimePartitioner{Window: cfg.Window})
 	plat, stats, err := durable.Open(cfg.Dir, core.Policy{Global: cfg.Global}, durable.Options{
-		NoSync: cfg.NoSync,
+		NoSync:       cfg.NoSync,
+		LedgerShards: cfg.LedgerShards,
 		// DP-informed retention (§3.2): a retired block's raw data is
 		// deleted. Registered before replay so recovery reproduces
 		// retirement stickiness; during replay the database is still
@@ -439,13 +452,25 @@ func (d *Daemon) step() error {
 		}
 	}
 
-	// 4. Periodic WAL compaction.
+	// 4. Periodic WAL compaction: the fixed tick cadence bounds staleness,
+	// the byte threshold bounds recovery time for write-heavy logs — an
+	// oversized ledger segment is compacted the tick it crosses the
+	// threshold, not when the cadence next comes around.
 	if (tick+1)%d.cfg.CompactEvery == 0 {
 		if err := d.plat.Compact(); err != nil {
 			return fmt.Errorf("daemon: compaction: %w", err)
 		}
 		lb, sb := d.plat.LogSizes()
 		d.cfg.Logf("daemon: tick %d: compacted WALs (ledger %dB, store %dB)", tick, lb, sb)
+	} else if d.cfg.CompactBytes > 0 && d.plat.MaxLogSize() > d.cfg.CompactBytes {
+		n, err := d.plat.CompactIfLarger(d.cfg.CompactBytes)
+		if err != nil {
+			return fmt.Errorf("daemon: size-triggered compaction: %w", err)
+		}
+		if n > 0 {
+			lb, sb := d.plat.LogSizes()
+			d.cfg.Logf("daemon: tick %d: compacted %d oversized log(s) (ledger %dB, store %dB)", tick, n, lb, sb)
+		}
 	}
 	return nil
 }
@@ -565,6 +590,7 @@ type Status struct {
 	RetiredBlocks   int                       `json:"retired_blocks"`
 	WALLedgerBytes  int64                     `json:"wal_ledger_bytes"`
 	WALStoreBytes   int64                     `json:"wal_store_bytes"`
+	LedgerShards    int                       `json:"ledger_shards"`
 }
 
 // LedgerStatus converts a ledger report to status rows.
@@ -604,6 +630,7 @@ func (d *Daemon) Status() Status {
 	st.StreamLossEps, st.StreamLossDelta = loss.Epsilon, loss.Delta
 	st.StoreVersions = d.plat.Store.Watermarks()
 	st.WALLedgerBytes, st.WALStoreBytes = d.plat.LogSizes()
+	st.LedgerShards = d.plat.LedgerShards()
 	if d.pub != nil {
 		st.Replicas = make(map[string]map[string]int)
 		for _, ep := range d.pub.Endpoints() {

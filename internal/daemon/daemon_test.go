@@ -282,3 +282,83 @@ func TestDaemonStatusEndpoint(t *testing.T) {
 		t.Fatalf("/models returned %d", resp2.StatusCode)
 	}
 }
+
+// TestDaemonShardedLedgerRestart runs the loop on a sharded ledger and
+// checks restart equivalence plus layout stickiness: the restarted
+// daemon follows the on-disk segment count even when configured
+// differently.
+func TestDaemonShardedLedgerRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	cfg.LedgerShards = 3
+	cfg.MaxTicks = 8
+
+	d, stats, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LedgerShards != 3 {
+		t.Fatalf("fresh dir got %d shards, want 3", stats.LedgerShards)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Status()
+	if st.LedgerShards != 3 {
+		t.Fatalf("status reports %d shards, want 3", st.LedgerShards)
+	}
+	if st.Published == 0 {
+		t.Fatal("no releases published on sharded ledger")
+	}
+
+	cfg2 := cfg
+	cfg2.LedgerShards = 8 // must be ignored: on-disk layout wins
+	d2, stats2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.LedgerShards != 3 {
+		t.Fatalf("restart re-striped to %d shards", stats2.LedgerShards)
+	}
+	st2 := d2.Status()
+	if !reflect.DeepEqual(durableFields(st2), durableFields(st)) {
+		t.Fatalf("sharded restart diverges:\n got %+v\nwant %+v", durableFields(st2), durableFields(st))
+	}
+}
+
+// TestDaemonCompactBytesThreshold pins the size trigger: with a tiny
+// byte threshold and an effectively-disabled tick cadence, the logs are
+// still compacted — and state survives.
+func TestDaemonCompactBytesThreshold(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(dir)
+	cfg.LedgerShards = 2
+	cfg.CompactEvery = 1 << 30 // cadence never fires
+	cfg.CompactBytes = 512     // size trigger fires all the time
+	cfg.MaxTicks = 12
+
+	d, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Status()
+	// Every log was recently compacted down to snapshot+suffix; with 12
+	// ticks of traffic and a 512B threshold, an uncompacted ledger would
+	// be far larger than snapshot size. Allow suffix slack.
+	if st.WALLedgerBytes > 16<<10 {
+		t.Fatalf("ledger logs not size-compacted: %dB", st.WALLedgerBytes)
+	}
+
+	// State survives a restart after size-triggered compactions.
+	d2, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := d2.Status()
+	if !reflect.DeepEqual(durableFields(st2), durableFields(st)) {
+		t.Fatalf("restart after size-compaction diverges:\n got %+v\nwant %+v", durableFields(st2), durableFields(st))
+	}
+}

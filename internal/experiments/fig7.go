@@ -209,7 +209,15 @@ func Fig7Quality(o Fig7Options) []Fig7QualityPoint {
 			cells = append(cells, cell{model: "NN", n: n, bs: o.NNBlockSize})
 		}
 	}
-	return parallel.Map(o.Workers, len(cells), func(i int) Fig7QualityPoint {
+	// The NN cells (DP-SGD over up to maxN rows) are the most expensive
+	// cells in the whole suite — hundreds of milliseconds against the
+	// default batch's ~1 — so under a shared pool this grid must start
+	// draining ahead of the cheap sweeps or it becomes the -exp all tail.
+	weight := 20.0
+	if !o.SkipNN {
+		weight = 400
+	}
+	return parallel.MapWeighted(o.Workers, len(cells), weight, func(i int) Fig7QualityPoint {
 		c := cells[i]
 		train := stream.Head(c.n)
 		if c.model == "LR" {

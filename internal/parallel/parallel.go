@@ -33,11 +33,19 @@ func Workers(n int) int {
 // the results in index order. workers <= 0 means GOMAXPROCS. fn must be
 // safe to call concurrently and must not depend on evaluation order.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	return MapWeighted(workers, n, 1, fn)
+}
+
+// MapWeighted is Map with an expected per-cell cost hint (see
+// ForEachWeighted). Sweeps whose cells are known to be expensive —
+// DP-SGD training grids, large-block workload simulations — pass a
+// large weight so the shared pool starts them ahead of cheap batches.
+func MapWeighted[T any](workers, n int, weight float64, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	ForEachWeighted(workers, n, weight, func(i int) { out[i] = fn(i) })
 	return out
 }
 
@@ -51,11 +59,22 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // sweep running in the process. Results are unaffected either way — the
 // determinism contract makes scheduling invisible.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachWeighted(workers, n, 1, fn)
+}
+
+// ForEachWeighted is ForEach with an expected per-cell cost hint. The
+// weight only matters when a shared pool is installed — its workers
+// drain the heaviest queued batch first (longest-expected-cell-first),
+// closing the straggler tail when cheap and expensive sweeps pipeline
+// together. Without a shared pool there is nothing to reorder and the
+// weight is ignored. Units are arbitrary but should be consistent
+// across the process (this repo uses rough expected cell milliseconds).
+func ForEachWeighted(workers, n int, weight float64, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if g := Global(); g != nil {
-		g.ForEach(n, fn)
+		g.ForEachWeighted(n, weight, fn)
 		return
 	}
 	workers = Workers(workers)

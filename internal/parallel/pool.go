@@ -6,11 +6,13 @@ import (
 )
 
 // Pool is a process-wide bounded scheduler that many sweeps submit task
-// batches into concurrently. Its workers drain batches in FIFO order,
-// crossing batch boundaries as soon as one batch's cells are all handed
-// out — so when several experiments run at once (cmd/sage-experiments
-// -pipeline), the tail of one experiment's grid overlaps the head of the
-// next instead of idling behind a per-experiment barrier.
+// batches into concurrently. Its workers drain the queued batch whose
+// cells are expected to run longest (FIFO among equals), crossing batch
+// boundaries as soon as one batch's cells are all handed out — so when
+// several experiments run at once (cmd/sage-experiments -pipeline), the
+// tail of one experiment's grid overlaps the head of the next instead
+// of idling behind a per-experiment barrier, and the long cells start
+// early enough that they are not the last thing running.
 //
 // Scheduling policy is caller-runs: the goroutine that submits a batch
 // helps execute that batch's cells while it waits. This guarantees
@@ -31,11 +33,17 @@ type Pool struct {
 
 // poolBatch is one ForEach submission: an indexed grid of n cells.
 type poolBatch struct {
-	fn   func(int)
-	n    int
-	next int          // next cell index to hand out; guarded by Pool.mu
-	left atomic.Int64 // cells not yet completed
-	done chan struct{}
+	fn func(int)
+	n  int
+	// weight is the submitter's estimate of one cell's cost, in any
+	// consistent relative units. Workers drain the heaviest queued batch
+	// first (longest-expected-cell-first), which is what keeps a late-
+	// submitted grid of expensive cells from becoming the straggler tail
+	// after every cheap batch has drained.
+	weight float64
+	next   int          // next cell index to hand out; guarded by Pool.mu
+	left   atomic.Int64 // cells not yet completed
+	done   chan struct{}
 }
 
 // NewPool starts a pool with the given number of worker goroutines
@@ -58,7 +66,8 @@ func (p *Pool) Close() {
 	p.cond.Broadcast()
 }
 
-// worker drains cells from the head batch until the pool closes.
+// worker drains cells from the heaviest queued batch until the pool
+// closes.
 func (p *Pool) worker() {
 	for {
 		p.mu.Lock()
@@ -69,13 +78,27 @@ func (p *Pool) worker() {
 			p.mu.Unlock()
 			return
 		}
-		b := p.queue[0]
+		b := p.pickLocked()
 		i := p.takeLocked(b)
 		p.mu.Unlock()
 		if i >= 0 {
 			b.run(i)
 		}
 	}
+}
+
+// pickLocked chooses the queued batch workers should drain next:
+// the largest per-cell weight, oldest first among equals (so equal-
+// weight batches keep the original FIFO pipelining). Caller holds mu
+// and guarantees the queue is non-empty.
+func (p *Pool) pickLocked() *poolBatch {
+	best := p.queue[0]
+	for _, b := range p.queue[1:] {
+		if b.weight > best.weight {
+			best = b
+		}
+	}
+	return best
 }
 
 // takeLocked hands out b's next cell index (-1 if none remain) and
@@ -107,17 +130,34 @@ func (b *poolBatch) run(i int) {
 
 // ForEach evaluates fn(0) … fn(n-1) on the pool and waits for all of
 // them. The submitting goroutine helps drain its own batch (caller-runs),
-// then blocks until cells picked up by pool workers finish.
+// then blocks until cells picked up by pool workers finish. The batch is
+// queued at the default weight (1): drained FIFO among other defaults,
+// after anything heavier.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.ForEachWeighted(n, 1, fn)
+}
+
+// ForEachWeighted is ForEach with an expected per-cell cost hint. weight
+// is in any units as long as they are consistent across the batches
+// sharing the pool (this repo uses rough expected cell milliseconds);
+// values <= 0 mean the default weight 1. Pool workers always drain the
+// heaviest queued batch, so submitting an expensive grid with a large
+// weight pulls its cells forward and keeps them off the critical tail.
+// Scheduling never affects results — the determinism contract (each cell
+// seeds from its own coordinates) makes drain order invisible.
+func (p *Pool) ForEachWeighted(n int, weight float64, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	b := &poolBatch{fn: fn, n: n, done: make(chan struct{})}
+	if weight <= 0 {
+		weight = 1
+	}
+	b := &poolBatch{fn: fn, n: n, weight: weight, done: make(chan struct{})}
 	b.left.Store(int64(n))
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		panic("parallel: ForEach on closed Pool")
+		panic("parallel: submit on closed Pool")
 	}
 	p.queue = append(p.queue, b)
 	p.mu.Unlock()

@@ -79,6 +79,52 @@ func TestGlobalPoolRoutesForEach(t *testing.T) {
 	}
 }
 
+func TestPickLockedHeaviestFirstFIFOAmongEquals(t *testing.T) {
+	// The drain policy itself: workers take from the queued batch with
+	// the largest per-cell weight; equal weights keep submission order.
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	a := &poolBatch{weight: 1, n: 1}
+	b := &poolBatch{weight: 4, n: 1}
+	c := &poolBatch{weight: 4, n: 1}
+	d := &poolBatch{weight: 2, n: 1}
+	p.queue = []*poolBatch{a, b, c, d}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for step, want := range []*poolBatch{b, c, d, a} {
+		got := p.pickLocked()
+		if got != want {
+			t.Fatalf("step %d: picked batch with weight %v, want weight %v", step, got.weight, want.weight)
+		}
+		p.takeLocked(got) // hands out the only cell, dequeueing the batch
+	}
+	if len(p.queue) != 0 {
+		t.Fatalf("queue not drained: %d left", len(p.queue))
+	}
+}
+
+func TestForEachWeightedRunsEachOnce(t *testing.T) {
+	// Weighted submission must be plain ForEach semantics both without a
+	// shared pool (weight ignored) and through one.
+	var calls [100]atomic.Int32
+	ForEachWeighted(4, len(calls), 50, func(i int) { calls[i].Add(1) })
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("cell %d ran %d times without pool", i, n)
+		}
+	}
+	p := NewPool(3)
+	defer p.Close()
+	SetGlobal(p)
+	defer SetGlobal(nil)
+	got := MapWeighted(0, 64, 250, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
 func TestClosedPoolPanics(t *testing.T) {
 	p := NewPool(1)
 	p.Close()

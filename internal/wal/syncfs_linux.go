@@ -1,0 +1,22 @@
+//go:build linux && (amd64 || arm64)
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+const syncfsSupported = true
+
+// syncfs flushes the whole filesystem containing f and waits for
+// completion (Linux syncfs(2) blocks until the data is written and,
+// since 5.8, reports writeback errors). The syscall package predates
+// syncfs, so the number is defined per-arch alongside this file.
+func syncfs(f *os.File) error {
+	_, _, errno := syscall.Syscall(sysSYNCFS, f.Fd(), 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package wal
+
+// sysSYNCFS is syncfs(2) on linux/amd64 (asm-generic unistd lists it as
+// 267; the amd64 table assigns 306).
+const sysSYNCFS = 306

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package wal
+
+// sysSYNCFS is syncfs(2) on linux/arm64 (asm-generic syscall table).
+const sysSYNCFS = 267

@@ -1,0 +1,14 @@
+//go:build !linux || !(amd64 || arm64)
+
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+const syncfsSupported = false
+
+func syncfs(*os.File) error {
+	return errors.New("wal: syncfs unsupported on this platform")
+}

@@ -1,0 +1,145 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncGroup coalesces the durability flushes of several logs that live
+// on the same filesystem — the sharded ledger's segments — into one
+// filesystem-wide sync (syncfs on Linux). A per-file fdatasync after an
+// append forces a journal commit, and journal commits from different
+// files serialize on the filesystem's single journal, so N segments
+// syncing concurrently pay nearly N sequential flush latencies. One
+// syncfs issued after all of a cohort's writes covers every member for
+// the price of a single flush.
+//
+// Correctness: a member joins the cohort only after its write(2) has
+// returned, and the cohort is sealed before the flush is issued, so the
+// flush covers every member's bytes. Per-log write ordering (the torn-
+// tail prefix property) is untouched — SyncGroup replaces only the
+// flush, not the write path. A flush failure is sticky: the group and
+// every log that was waiting on it fail closed, exactly like a
+// poisoned per-file sync.
+type SyncGroup struct {
+	dir *os.File
+	mu  sync.Mutex // guards cur, last, err
+	cur *syncCohort
+	// last is the most recently created cohort, used to chain a new
+	// cohort to an in-flight predecessor (same pattern as the
+	// group-commit batch chain — see commitBatch).
+	last *syncCohort
+	err  error // sticky: first flush failure, or closed
+}
+
+// syncCohort is one group flush in flight: members' writes all
+// happened-before seal, seal happens-before the flush.
+type syncCohort struct {
+	n      int // members, guarded by SyncGroup.mu
+	err    error
+	done   chan struct{}
+	prev   *syncCohort
+	driver atomic.Bool
+}
+
+// SyncGroupSupported reports whether this platform has a usable
+// filesystem-wide sync primitive. When false, NewSyncGroup fails and
+// callers fall back to per-file syncs.
+func SyncGroupSupported() bool { return syncfsSupported }
+
+// NewSyncGroup opens a group anchored at dir (any path on the target
+// filesystem).
+func NewSyncGroup(dir string) (*SyncGroup, error) {
+	if !syncfsSupported {
+		return nil, errors.New("wal: filesystem-wide sync not supported on this platform")
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncGroup{dir: f}, nil
+}
+
+// Sync makes every write issued by the caller before this call durable.
+// Concurrent callers share one flush.
+func (g *SyncGroup) Sync() error {
+	g.mu.Lock()
+	if g.err != nil {
+		err := g.err
+		g.mu.Unlock()
+		return err
+	}
+	c := g.cur
+	if c == nil {
+		c = &syncCohort{done: make(chan struct{})}
+		if lc := g.last; lc != nil {
+			select {
+			case <-lc.done:
+				g.last = nil
+			default:
+				c.prev = lc
+			}
+		}
+		g.cur = c
+		g.last = c
+	}
+	c.n++
+	g.mu.Unlock()
+
+	// One member drives the flush; the rest park on done. The driver
+	// first rides out the predecessor's flush — that window is where
+	// the rest of the cohort accumulates.
+	if c.driver.CompareAndSwap(false, true) {
+		if c.prev != nil {
+			<-c.prev.done
+		}
+		// Linger: yield while members are still arriving, so writers
+		// that are runnable right now make this flush instead of
+		// paying for the next one.
+		lastN := -1
+		for i := 0; i < lingerRounds; i++ {
+			g.mu.Lock()
+			n := c.n
+			g.mu.Unlock()
+			if n == lastN {
+				break
+			}
+			lastN = n
+			runtime.Gosched()
+		}
+		g.mu.Lock()
+		if g.cur == c {
+			g.cur = nil // seal: later callers start the next cohort
+		}
+		g.mu.Unlock()
+		c.err = syncfs(g.dir)
+		if c.err != nil {
+			g.mu.Lock()
+			g.err = c.err
+			g.mu.Unlock()
+		}
+		close(c.done)
+		g.mu.Lock()
+		c.prev = nil
+		if g.last == c {
+			g.last = nil
+		}
+		g.mu.Unlock()
+	}
+	<-c.done
+	return c.err
+}
+
+// Close releases the group. Callers must close (or otherwise quiesce)
+// the member logs first.
+func (g *SyncGroup) Close() error {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = errors.New("wal: sync group closed")
+	}
+	g.mu.Unlock()
+	return g.dir.Close()
+}

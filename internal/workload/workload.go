@@ -517,7 +517,13 @@ func Sweep(base Config, rates []float64, strategies []Strategy) []SweepPoint {
 			cells = append(cells, cell{rate: rate, strat: strat})
 		}
 	}
-	return parallel.Map(base.Workers, len(cells), func(i int) SweepPoint {
+	// A cell simulates base.Hours ticks whose per-block training cost
+	// scales with BlockSize; hint the expected cell cost (rough
+	// milliseconds) so big-block sweeps (Criteo's 267K blocks) drain
+	// ahead of cheap batches in a shared pool instead of forming the
+	// tail.
+	weight := float64(base.Hours) * float64(base.BlockSize) / 1e6
+	return parallel.MapWeighted(base.Workers, len(cells), weight, func(i int) SweepPoint {
 		cfg := base
 		cfg.ArrivalRate = cells[i].rate
 		cfg.Strategy = cells[i].strat
