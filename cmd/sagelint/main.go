@@ -1,0 +1,25 @@
+// Command sagelint runs the repo's invariant-enforcing static-analysis
+// suite (internal/analysis) over the tree. Every check pins an
+// architecture invariant from ROADMAP.md; a finding means a change
+// compiles but violates a rule the platform's correctness story rests
+// on. See internal/analysis for the analyzer list, the
+// //sage:journaled annotation convention, and the //lint:ignore
+// suppression syntax.
+//
+// Usage:
+//
+//	sagelint ./...             lint the whole tree
+//	sagelint -json ./... > r.json   also emit the CI artifact report
+//	sagelint -list             show analyzers and their invariants
+//	sagelint -run determinism ./internal/experiments/...
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.CLI(os.Args[1:], os.Stdout, os.Stderr))
+}

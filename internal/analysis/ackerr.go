@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AckErr pins the fail-closed half of journal-before-ack: an error
+// from a WAL append, flush, or sync means the bytes may not be on
+// disk, and discarding it turns an unacknowledged write into an acked
+// non-durable one. Every call to the wal package's durability methods
+// (Append, AppendAsync, Sync, Compact, Commit.Wait) must consume the
+// error — not as an expression statement, not assigned to blank, not
+// fire-and-forgotten behind go/defer.
+var AckErr = &Analyzer{
+	Name:      "sage/ackerr",
+	Doc:       "no discarded errors from WAL append/flush/sync call sites",
+	Invariant: "Journal-before-ack: a failed flush poisons the log instead of acking",
+	Applies:   nil, // whole tree: durability call sites appear in durable, daemon, cmd
+	Run:       runAckErr,
+}
+
+var walAckMethods = map[string]bool{
+	"Append":      true,
+	"AppendAsync": true,
+	"Sync":        true,
+	"Compact":     true,
+	"Wait":        true,
+}
+
+func runAckErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := walAckCall(pass, n.X); ok {
+					pass.Reportf(n.Pos(),
+						"error from wal %s discarded: a failed append/flush may mean an acked non-durable write — handle it (fail closed)", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := walAckCall(pass, n.Call); ok {
+					pass.Reportf(n.Pos(),
+						"error from deferred wal %s discarded: handle the error (fail closed)", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := walAckCall(pass, n.Call); ok {
+					pass.Reportf(n.Pos(),
+						"error from wal %s discarded in go statement: handle the error (fail closed)", name)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				name, ok := walAckCall(pass, n.Rhs[0])
+				if !ok {
+					return true
+				}
+				// The error is the call's last result; blank there
+				// discards it.
+				last := n.Lhs[len(n.Lhs)-1]
+				if id, isIdent := last.(*ast.Ident); isIdent && id.Name == "_" {
+					pass.Reportf(n.Pos(),
+						"error from wal %s assigned to blank: a failed append/flush may mean an acked non-durable write — handle it (fail closed)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walAckCall reports whether e is a call to one of the wal package's
+// durability methods, returning its name.
+func walAckCall(pass *Pass, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if !pathIn(fn.Pkg().Path(), "internal/wal") || !walAckMethods[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	return fn.Name(), true
+}

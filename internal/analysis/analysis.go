@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic at a source position.
+type Finding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+	Path  string
+
+	analyzer string
+	out      *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.out = append(*p.out, Finding{
+		Analyzer: p.analyzer,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant check. Applies gates it by import path so
+// an invariant about, say, the deterministic compute core does not
+// fire on the daemon's wall-clock ticker.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Invariant string
+	Applies   func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// All returns every analyzer in the suite, in canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, Journal, Locks, Ctx, AckErr}
+}
+
+// Result is one sagelint run over a set of packages.
+type Result struct {
+	Packages   int       `json:"packages"`
+	Analyzers  []string  `json:"analyzers"`
+	Findings   []Finding `json:"findings"`
+	Suppressed []Finding `json:"suppressed"`
+}
+
+// Run applies the analyzers to every package they cover and partitions
+// the diagnostics into live findings and suppressed ones.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{
+		Packages:   len(pkgs),
+		Findings:   []Finding{},
+		Suppressed: []Finding{},
+	}
+	for _, a := range analyzers {
+		res.Analyzers = append(res.Analyzers, a.Name)
+	}
+	var raw []Finding
+	sup := newSuppressions()
+	for _, pkg := range pkgs {
+		sup.index(pkg)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Info:     pkg.Info,
+				Pkg:      pkg.Types,
+				Path:     pkg.ImportPath,
+				analyzer: a.Name,
+				out:      &raw,
+			}
+			a.Run(pass)
+		}
+	}
+	for _, f := range raw {
+		if reason, ok := sup.match(f); ok {
+			f.Suppressed = true
+			f.Reason = reason
+			res.Suppressed = append(res.Suppressed, f)
+		} else {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	checks []string
+	reason string
+}
+
+// suppressions indexes //lint:ignore comments by file and the line
+// they govern (their own line and the one below, staticcheck-style).
+type suppressions struct {
+	byLine map[string]map[int][]suppression
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: make(map[string]map[int][]suppression)}
+}
+
+func (s *suppressions) index(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks, reason, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]suppression)
+					s.byLine[pos.Filename] = lines
+				}
+				sup := suppression{checks: checks, reason: reason}
+				// An ignore governs findings on its own line (trailing
+				// comment) and on the line immediately below it
+				// (comment-above style).
+				lines[pos.Line] = append(lines[pos.Line], sup)
+				lines[pos.Line+1] = append(lines[pos.Line+1], sup)
+			}
+		}
+	}
+}
+
+func (s *suppressions) match(f Finding) (reason string, ok bool) {
+	for _, sup := range s.byLine[f.File][f.Line] {
+		for _, c := range sup.checks {
+			if c == f.Analyzer {
+				return sup.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// parseIgnore parses `//lint:ignore sage/name[,sage/other] reason`.
+// The reason is mandatory: a suppression that does not say why is not
+// a suppression.
+func parseIgnore(text string) (checks []string, reason string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, found := strings.CutPrefix(text, "lint:ignore ")
+	if !found {
+		return nil, "", false
+	}
+	list, reason, found := strings.Cut(strings.TrimSpace(rest), " ")
+	reason = strings.TrimSpace(reason)
+	if !found || reason == "" {
+		return nil, "", false
+	}
+	return strings.Split(list, ","), reason, true
+}
+
+// pathIn reports whether pkgPath is one of the named repo packages.
+// Matching is by path suffix so the fixture packages under
+// testdata/src/<analyzer>/internal/<pkg> are covered by the same
+// applicability rule as the real tree.
+func pathIn(pkgPath string, names ...string) bool {
+	for _, n := range names {
+		if pkgPath == n || strings.HasSuffix(pkgPath, "/"+n) {
+			return true
+		}
+	}
+	return false
+}

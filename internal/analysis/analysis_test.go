@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSelfCheckTreeIsClean is the gate the CI lint job mirrors:
+// `sagelint ./...` must report zero unsuppressed findings on the repo
+// tree. A new call site that violates a pinned invariant (a time.Now
+// in internal/experiments, a dropped WAL flush error, ...) fails this
+// test before it ever reaches a runtime-behavior test.
+func TestSelfCheckTreeIsClean(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	res := Run(pkgs, All())
+	for _, f := range res.Findings {
+		t.Errorf("finding on clean tree: %s", f)
+	}
+}
+
+// TestSuppressions pins the //lint:ignore surface: inline and
+// comment-above forms suppress (with the reason captured and the
+// finding counted), a reason-less ignore does not.
+func TestSuppressions(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load(root, "./internal/analysis/testdata/src/suppress/internal/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(pkgs, []*Analyzer{Determinism})
+
+	if got, want := len(res.Findings), 2; got != want {
+		t.Errorf("live findings = %d, want %d (Live + MalformedIgnore): %v", got, want, res.Findings)
+	}
+	if got, want := len(res.Suppressed), 2; got != want {
+		t.Fatalf("suppressed findings = %d, want %d: %v", got, want, res.Suppressed)
+	}
+	for _, s := range res.Suppressed {
+		if !s.Suppressed {
+			t.Errorf("suppressed finding not marked: %s", s)
+		}
+		if !strings.HasPrefix(s.Reason, "fixture:") {
+			t.Errorf("suppression reason not captured, got %q", s.Reason)
+		}
+	}
+}
+
+// TestCLIJSON pins the -json report: machine-readable findings with
+// repo-relative paths, human-readable findings on stderr, exit 1.
+func TestCLIJSON(t *testing.T) {
+	root := repoRoot(t)
+	var out, errw bytes.Buffer
+	code := CLI([]string{"-json", "-C", root,
+		"./internal/analysis/testdata/src/suppress/internal/experiments"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errw.String())
+	}
+
+	var res Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("-json output is not a Result: %v\n%s", err, out.String())
+	}
+	if len(res.Findings) != 2 || len(res.Suppressed) != 2 {
+		t.Errorf("JSON report: %d findings / %d suppressed, want 2 / 2",
+			len(res.Findings), len(res.Suppressed))
+	}
+	for _, f := range append(res.Findings, res.Suppressed...) {
+		if strings.HasPrefix(f.File, "/") {
+			t.Errorf("finding path not relativized: %s", f.File)
+		}
+		if f.Analyzer != "sage/determinism" {
+			t.Errorf("unexpected analyzer %q", f.Analyzer)
+		}
+	}
+	if !strings.Contains(errw.String(), "sagelint: 2 finding(s), 2 suppressed") {
+		t.Errorf("stderr summary missing, got:\n%s", errw.String())
+	}
+}
+
+// TestCLICleanExitsZero pins the success path CI depends on.
+func TestCLICleanExitsZero(t *testing.T) {
+	root := repoRoot(t)
+	var out, errw bytes.Buffer
+	code := CLI([]string{"-C", root,
+		"./internal/analysis/testdata/src/clean/internal/experiments"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errw.String())
+	}
+}
+
+// TestCLIFlagSurface covers -list, -run filtering, and bad input.
+func TestCLIFlagSurface(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := CLI([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := CLI([]string{"-run", "("}, &out, &errw); code != 2 {
+		t.Errorf("bad -run regexp exit code = %d, want 2", code)
+	}
+
+	// -run filtering: the suppress fixture only violates determinism,
+	// so running only sage/ackerr over it is clean.
+	root := repoRoot(t)
+	out.Reset()
+	errw.Reset()
+	if code := CLI([]string{"-run", "ackerr", "-C", root,
+		"./internal/analysis/testdata/src/suppress/internal/experiments"}, &out, &errw); code != 0 {
+		t.Errorf("-run ackerr over determinism fixture: exit %d, want 0\n%s", code, errw.String())
+	}
+}
+
+// TestParseIgnore pins the suppression grammar.
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text   string
+		checks []string
+		reason string
+		ok     bool
+	}{
+		{"//lint:ignore sage/journal no-op mutation", []string{"sage/journal"}, "no-op mutation", true},
+		{"//lint:ignore sage/a,sage/b covers both", []string{"sage/a", "sage/b"}, "covers both", true},
+		{"//lint:ignore sage/journal", nil, "", false},
+		{"// regular comment", nil, "", false},
+	}
+	for _, c := range cases {
+		checks, reason, ok := parseIgnore(c.text)
+		if ok != c.ok || reason != c.reason || strings.Join(checks, ",") != strings.Join(c.checks, ",") {
+			t.Errorf("parseIgnore(%q) = %v %q %v, want %v %q %v",
+				c.text, checks, reason, ok, c.checks, c.reason, c.ok)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"regexp"
+)
+
+// CLI is the sagelint driver (cmd/sagelint is a thin wrapper so the
+// flag handling and output formats are unit-testable). Findings are
+// always printed human-readably to errw; with -json the structured
+// report additionally goes to outw, which is what CI archives.
+//
+// Exit codes: 0 clean (suppressed findings are clean), 1 findings,
+// 2 usage or load failure.
+func CLI(args []string, outw, errw io.Writer) int {
+	fs := flag.NewFlagSet("sagelint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	jsonOut := fs.Bool("json", false, "write a JSON report to stdout")
+	dir := fs.String("C", ".", "directory to resolve package patterns in (the module root)")
+	run := fs.String("run", "", "only run analyzers whose name matches this regexp")
+	list := fs.Bool("list", false, "list analyzers and the invariants they pin, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: sagelint [-json] [-C dir] [-run regexp] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := All()
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(errw, "sagelint: bad -run regexp: %v\n", err)
+			return 2
+		}
+		var kept []*Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(outw, "%-20s %s\n%-20s pins: %s\n", a.Name, a.Doc, "", a.Invariant)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "sagelint: %v\n", err)
+		return 2
+	}
+	res := Run(pkgs, analyzers)
+
+	// Report positions relative to the working directory: stable in CI
+	// logs and clickable in editors.
+	abs, err := filepath.Abs(*dir)
+	if err == nil {
+		relativize(res.Findings, abs)
+		relativize(res.Suppressed, abs)
+	}
+
+	for _, f := range res.Findings {
+		fmt.Fprintln(errw, f.String())
+	}
+	fmt.Fprintf(errw, "sagelint: %d finding(s), %d suppressed, %d package(s), %d analyzer(s)\n",
+		len(res.Findings), len(res.Suppressed), res.Packages, len(res.Analyzers))
+
+	if *jsonOut {
+		enc := json.NewEncoder(outw)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(errw, "sagelint: encoding report: %v\n", err)
+			return 2
+		}
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func relativize(fs []Finding, base string) {
+	for i := range fs {
+		if rel, err := filepath.Rel(base, fs[i].File); err == nil {
+			fs[i].File = rel
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctx pins the context-propagation half of the PR 6 fault model: the
+// gateway's per-attempt deadlines and cancellation only work if every
+// request-serving function derives its context from the caller. A
+// context.Background() (or TODO()) inside a function that already has
+// a context.Context or *http.Request in its signature severs the
+// deadline chain — a stalled upstream then hangs forever instead of
+// failing over. Lifecycle setup (health-loop roots, compatibility
+// wrappers without a ctx parameter) is out of scope by construction.
+var Ctx = &Analyzer{
+	Name:      "sage/ctx",
+	Doc:       "no context.Background()/TODO() in request-scoped gateway/replica/daemon code",
+	Invariant: "Fault model: deadlines and cancellation flow from the caller",
+	Applies: func(p string) bool {
+		return pathIn(p, "internal/gateway", "internal/replica", "internal/daemon")
+	},
+	Run: runCtx,
+}
+
+func runCtx(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(pass, fd.Type, fd.Body, false)
+		}
+	}
+}
+
+// checkCtxFunc walks one function. scoped means a caller context is in
+// scope — either this function's own signature carries one, or it is a
+// literal closing over a request-scoped enclosing function.
+func checkCtxFunc(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, enclosingScoped bool) {
+	scoped := enclosingScoped || requestScoped(pass, ft)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCtxFunc(pass, n.Type, n.Body, scoped)
+			return false
+		case *ast.CallExpr:
+			if !scoped {
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "context" {
+				return true
+			}
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				pass.Reportf(n.Pos(),
+					"context.%s in a request-scoped function: derive from the caller's context so deadlines and cancellation propagate (the fault model depends on it)",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// requestScoped reports whether the signature carries a caller context:
+// a context.Context or *http.Request parameter.
+func requestScoped(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isNamed(t, "context", "Context") {
+			return true
+		}
+		if ptr, ok := t.(*types.Pointer); ok && isNamed(ptr.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func isNamed(t types.Type, pkg, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}

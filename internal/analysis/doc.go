@@ -1,0 +1,71 @@
+// Package analysis is sagelint: a stdlib-only static-analysis suite
+// that turns the repo's architecture invariants (ROADMAP.md) into
+// build-time checks. Each analyzer pins one invariant that was
+// previously enforced only by tests happening to exercise the
+// violating path:
+//
+//	sage/determinism  cell output derives only from cell coordinates —
+//	                  no wall clock, no global math/rand in the
+//	                  deterministic compute packages
+//	sage/maporder     canonical (map-order-independent) byte encoding —
+//	                  no map iteration feeding canonical encoders or
+//	                  digests
+//	sage/journal      journal-before-ack — //sage:journaled mutators
+//	                  stage their journal record before acknowledging,
+//	                  and every exported mutator on a journaled type
+//	                  declares itself journaled or //sage:nojournal
+//	sage/locks        lock discipline — no lock acquisition in map
+//	                  iteration order (shard locks are taken in
+//	                  ascending index order), no Unlock preceding its
+//	                  Lock, no lock-bearing value copies
+//	sage/ctx          context propagation — request-scoped code in the
+//	                  gateway/replica/daemon tiers derives contexts
+//	                  from the caller, never context.Background()
+//	sage/ackerr       ack-path error discipline — WAL append/flush/sync
+//	                  errors are never discarded (fail-closed)
+//
+// # Journal annotations
+//
+// The sage/journal analyzer is driven by doc-comment directives on
+// methods:
+//
+//	//sage:journaled
+//	//sage:nojournal <reason>
+//
+// A //sage:journaled method must reach a journal/stage call before any
+// return that acknowledges success (a nil error, or any return for
+// methods without an error result) once it has mutated receiver state.
+// Once a type has one //sage:journaled method, every exported
+// pointer-receiver method that mutates the receiver must carry one of
+// the two directives: either it journals, or it states why it is
+// exempt (configuration hooks like SetJournal, recovery paths like
+// RestoreSnapshot that replay the log and must not re-journal it).
+// A //sage:nojournal without a reason is itself a finding.
+//
+// # Suppressions
+//
+// A finding can be suppressed with a per-line comment, inline or on
+// the line immediately above, with a mandatory reason:
+//
+//	//lint:ignore sage/<name> <reason>
+//	//lint:ignore sage/<a>,sage/<b> <reason>
+//
+// Suppressions are counted and reported (and carried in the -json
+// output), not silent.
+//
+// # Driver
+//
+// The driver is cmd/sagelint:
+//
+//	go run ./cmd/sagelint ./...          # exit 1 on any finding
+//	go run ./cmd/sagelint -json ./...    # machine-readable CI artifact
+//	go run ./cmd/sagelint -run journal . # one analyzer by regexp
+//	go run ./cmd/sagelint -list          # names and pinned invariants
+//
+// Packages are loaded and type-checked with only the standard library
+// (go list -export for dependency export data, go/types for the
+// target sources). Analyzers are regression-tested by the `// want`
+// fixture packages under testdata/src; each fixture directory mirrors
+// the import-path suffix of the real tree it stands in for, so the
+// analyzers' applicability rules cover fixtures and tree unchanged.
+package analysis

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureCases maps each fixture package to the single analyzer it
+// regression-tests. Fixture paths end in the same package suffixes as
+// the real tree so the analyzers' applicability rules cover them
+// unchanged.
+var fixtureCases = []struct {
+	dir      string
+	analyzer *Analyzer
+}{
+	{"determinism/internal/experiments", Determinism},
+	{"maporder/internal/core", MapOrder},
+	{"journal/internal/core", Journal},
+	{"locks/fixture", Locks},
+	{"ctxpath/internal/gateway", Ctx},
+	{"ackerr/internal/wal", AckErr},
+}
+
+// TestFixtures checks every fixture's `// want` assertions against the
+// analyzer's findings — and that withholding the findings (the
+// disabled-analyzer case) fails the same assertions, so a fixture can
+// never silently assert nothing.
+func TestFixtures(t *testing.T) {
+	root := repoRoot(t)
+	for _, c := range fixtureCases {
+		t.Run(strings.ReplaceAll(c.dir, "/", "_"), func(t *testing.T) {
+			pkgs, err := Load(root, "./internal/analysis/testdata/src/"+c.dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			res := Run(pkgs, []*Analyzer{c.analyzer})
+			for _, p := range checkWants(pkgs, res.Findings) {
+				t.Error(p)
+			}
+			if len(res.Findings) == 0 {
+				t.Fatalf("fixture produced no findings: it is not pinning %s", c.analyzer.Name)
+			}
+			// Disabled-analyzer check: with no findings, the wants must
+			// go unmatched — i.e. the fixture fails when its check is
+			// turned off.
+			if probs := checkWants(pkgs, nil); len(probs) == 0 {
+				t.Errorf("fixture has no want assertions: disabling %s would go unnoticed", c.analyzer.Name)
+			}
+		})
+	}
+}
+
+// wantRe pulls the quoted patterns out of a `// want` comment. Both
+// backquoted and double-quoted forms are accepted.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkWants compares findings against the fixtures' `// want`
+// comments and returns one problem string per mismatch in either
+// direction.
+func checkWants(pkgs []*Package, findings []Finding) []string {
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range wantRe.FindAllString(rest, -1) {
+						pat := strings.Trim(q, "`\"")
+						wants[k] = append(wants[k], regexp.MustCompile(pat))
+					}
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for _, f := range findings {
+		k := key{f.File, f.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(f.Message) {
+				wants[k][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: want %q matched no finding", k.file, k.line, re.String()))
+			}
+		}
+	}
+	return problems
+}
+
+// repoRoot walks up from the test's working directory to the module
+// root (where go.mod lives).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

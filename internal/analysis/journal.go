@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Journal pins the "journal-before-ack" invariant. Mutation methods on
+// the durable types annotated `//sage:journaled` must stage their
+// journal record before acknowledging success, and every *other*
+// exported mutator on a type that has journaled methods must declare
+// itself either `//sage:journaled` or `//sage:nojournal <reason>` — a
+// new mutation path cannot silently opt out of durability.
+//
+// The check is an ordered walk of the method body (statements visited
+// in source order, function literals inlined at their position):
+//
+//   - a call whose callee name contains "journal" or "stage" marks the
+//     journal point;
+//   - an assignment through the receiver, or through a local derived
+//     from the receiver (sh := ac.shards[k]; st := sh.blocks[id]),
+//     marks mutation;
+//   - a `return nil` (in the error result position) after mutation but
+//     before the journal point is a finding: the caller is acked a
+//     state change with no durable record staged for it.
+//
+// Methods with no error result (RegisterBlock, Publish — they panic on
+// journal failure) get a presence check: the body must stage at least
+// once. Early no-op returns (nothing mutated yet) are fine; paths
+// returning a non-nil error need no journal record by definition.
+var Journal = &Analyzer{
+	Name:      "sage/journal",
+	Doc:       "//sage:journaled mutators stage their journal before acknowledging",
+	Invariant: "Journal-before-ack: every ledger/store mutation is WAL-journaled before acknowledgement",
+	Applies: func(p string) bool {
+		return pathIn(p, "internal/core", "internal/store")
+	},
+	Run: runJournal,
+}
+
+var journalCallRe = regexp.MustCompile(`(?i)(journal|stage)`)
+
+const (
+	annJournaled = "//sage:journaled"
+	annNoJournal = "//sage:nojournal"
+)
+
+func runJournal(pass *Pass) {
+	type method struct {
+		decl      *ast.FuncDecl
+		recv      string
+		journaled bool
+		nojournal bool
+		noReason  bool
+	}
+	var methods []method
+	journaledTypes := make(map[string]bool)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			m := method{decl: fd, recv: recvTypeName(fd)}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					switch {
+					case c.Text == annJournaled:
+						m.journaled = true
+					case strings.HasPrefix(c.Text, annNoJournal):
+						m.nojournal = true
+						m.noReason = strings.TrimSpace(strings.TrimPrefix(c.Text, annNoJournal)) == ""
+					}
+				}
+			}
+			if m.journaled {
+				journaledTypes[m.recv] = true
+			}
+			methods = append(methods, m)
+		}
+	}
+
+	for _, m := range methods {
+		fd := m.decl
+		switch {
+		case m.journaled:
+			checkJournaled(pass, fd)
+		case m.nojournal:
+			if m.noReason {
+				pass.Reportf(fd.Name.Pos(),
+					"//sage:nojournal on %s.%s has no reason: say why this mutation needs no journal record",
+					m.recv, fd.Name.Name)
+			}
+		case journaledTypes[m.recv] && fd.Name.IsExported() && isPointerRecv(fd):
+			w := newJournalWalk(pass, fd)
+			if w == nil {
+				continue
+			}
+			w.walkBody(fd.Body)
+			if w.mutated {
+				pass.Reportf(fd.Name.Pos(),
+					"exported mutator %s.%s on a journaled type is neither //sage:journaled nor //sage:nojournal — every mutation path must declare its durability story",
+					m.recv, fd.Name.Name)
+			}
+		}
+	}
+}
+
+func checkJournaled(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	w := newJournalWalk(pass, fd)
+	if w == nil {
+		// Unnamed receiver: the method cannot mutate its state, so the
+		// annotation is at best documentation.
+		return
+	}
+	w.checkReturns = errResultIndex(pass, fd) >= 0
+	w.errIndex = errResultIndex(pass, fd)
+	w.walkBody(fd.Body)
+	if !w.sawJournal {
+		pass.Reportf(fd.Name.Pos(),
+			"//sage:journaled method %s never calls a journal/stage function: the mutation is acknowledged with no durable record",
+			fd.Name.Name)
+	}
+}
+
+// errResultIndex returns the index of the trailing error result, or -1.
+func errResultIndex(pass *Pass, fd *ast.FuncDecl) int {
+	if fd.Type.Results == nil {
+		return -1
+	}
+	n := 0
+	last := -1
+	for _, field := range fd.Type.Results.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		t := pass.Info.TypeOf(field.Type)
+		for i := 0; i < width; i++ {
+			if t != nil && t.String() == "error" {
+				last = n
+			} else {
+				last = -1
+			}
+			n++
+		}
+	}
+	if last == n-1 {
+		return last
+	}
+	return -1
+}
+
+// journalWalk carries the ordered-walk state for one method body.
+type journalWalk struct {
+	pass         *Pass
+	derived      map[types.Object]bool
+	sawJournal   bool
+	mutated      bool
+	checkReturns bool
+	errIndex     int
+}
+
+func newJournalWalk(pass *Pass, fd *ast.FuncDecl) *journalWalk {
+	recv := fd.Recv.List[0]
+	if len(recv.Names) == 0 {
+		return nil
+	}
+	obj := pass.Info.Defs[recv.Names[0]]
+	if obj == nil {
+		return nil
+	}
+	return &journalWalk{
+		pass:     pass,
+		derived:  map[types.Object]bool{obj: true},
+		errIndex: -1,
+	}
+}
+
+// walkBody visits statements in source order. Branches are visited in
+// order too (an optimistic, may-analysis approximation of the CFG: a
+// journal call in either arm counts). Function literals are inlined at
+// their lexical position — Request stages its journal inside an
+// immediately-invoked closure — but a literal's returns are not the
+// method's acknowledgements, so return checking is off inside them.
+func (w *journalWalk) walkBody(body *ast.BlockStmt) {
+	var stack []ast.Node
+	litDepth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := top.(*ast.FuncLit); ok {
+				litDepth--
+			}
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litDepth++
+		case *ast.CallExpr:
+			if name := calleeName(n); name != "" && journalCallRe.MatchString(name) {
+				w.sawJournal = true
+			}
+			if isDelete(w.pass, n) && len(n.Args) > 0 && w.isDerived(n.Args[0]) {
+				w.mutated = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if w.isDerived(lhs) {
+					w.mutated = true
+				}
+			}
+			// Track locals derived from the receiver, so mutations like
+			// `sh := ac.shards[k]; st := sh.blocks[id]; st.retired = true`
+			// are seen as receiver-state mutations.
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				default:
+					continue
+				}
+				if w.isDerived(rhs) {
+					if obj := w.pass.Info.ObjectOf(id); obj != nil {
+						w.derived[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if w.isDerived(n.X) {
+				w.mutated = true
+			}
+		case *ast.ReturnStmt:
+			if litDepth == 0 && w.checkReturns && w.mutated && !w.sawJournal && w.isNilErrReturn(n) {
+				w.pass.Reportf(n.Pos(),
+					"returns nil (acknowledging the mutation) with no journal call on the path: journal-before-ack requires the record to be staged first")
+			}
+		}
+		return true
+	})
+}
+
+// isDerived reports whether the expression's base identifier is the
+// receiver or a local derived from it.
+func (w *journalWalk) isDerived(e ast.Expr) bool {
+	id := baseIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := w.pass.Info.ObjectOf(id)
+	return obj != nil && w.derived[obj]
+}
+
+func (w *journalWalk) isNilErrReturn(ret *ast.ReturnStmt) bool {
+	if w.errIndex < 0 || w.errIndex >= len(ret.Results) {
+		return false
+	}
+	id, ok := ret.Results[w.errIndex].(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func isPointerRecv(fd *ast.FuncDecl) bool {
+	_, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	return ok
+}
+
+// baseIdent walks selectors/indexes/derefs down to the root identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isDelete(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "delete"
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Locks pins the lock-discipline rules behind the sharded write path:
+//
+//   - no lock acquisition inside a `range someMap` body — map
+//     iteration order is randomized, so two goroutines would acquire
+//     the same lock set in different orders and deadlock; shard locks
+//     must be taken in ascending index order (core.lockGroups);
+//   - no Unlock lexically preceding its Lock in the same function —
+//     an unlock that is not dominated by its lock releases a mutex the
+//     function never took on some path;
+//   - no copying of lock-bearing values (range over []shard, `x := *p`
+//     where the struct embeds a mutex): a copied mutex guards nothing.
+var Locks = &Analyzer{
+	Name:      "sage/locks",
+	Doc:       "shard locks in ascending order, Unlock dominated by Lock, no mutex value copies",
+	Invariant: "Lock discipline: in-order shard locking keeps the sharded ledger deadlock-free",
+	Applies:   nil, // whole tree
+	Run:       runLocks,
+}
+
+func runLocks(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockOrder(pass, fd.Body)
+		}
+		checkMapRangeLocks(pass, f)
+		checkLockCopies(pass, f)
+	}
+}
+
+// checkMapRangeLocks flags sync.Mutex Lock/RLock calls inside the body
+// of a range over a map.
+func checkMapRangeLocks(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, isSync := syncLockCall(pass, call); isSync && (name == "Lock" || name == "RLock") {
+				pass.Reportf(call.Pos(),
+					"lock acquired inside map iteration: map order is randomized, so concurrent holders deadlock — acquire in ascending (sorted-key) order instead")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkLockOrder flags a non-deferred Unlock that lexically precedes
+// every Lock of the same mutex expression within one function.
+func checkLockOrder(pass *Pass, body *ast.BlockStmt) {
+	type events struct {
+		firstLock   token.Pos
+		firstUnlock token.Pos
+	}
+	evs := make(map[string]*events)
+	deferred := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, isSync := syncLockCall(pass, call)
+		if !isSync {
+			return true
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		key := exprString(pass.Fset, sel.X)
+		ev := evs[key]
+		if ev == nil {
+			ev = &events{}
+			evs[key] = ev
+		}
+		switch name {
+		case "Lock", "RLock":
+			if ev.firstLock == token.NoPos {
+				ev.firstLock = call.Pos()
+			}
+		case "Unlock", "RUnlock":
+			if !deferred[call] && ev.firstUnlock == token.NoPos {
+				ev.firstUnlock = call.Pos()
+			}
+		}
+		return true
+	})
+	for key, ev := range evs {
+		if ev.firstLock != token.NoPos && ev.firstUnlock != token.NoPos && ev.firstUnlock < ev.firstLock {
+			pass.Reportf(ev.firstUnlock,
+				"%s.Unlock precedes its Lock in this function: the unlock is not dominated by the lock on some path", key)
+		}
+	}
+}
+
+// checkLockCopies flags the two lock-copy shapes vet's copylocks most
+// often catches too late here: ranging over a slice/array of
+// lock-bearing structs by value, and dereference-copying one.
+func checkLockCopies(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			t := pass.Info.TypeOf(n.Value)
+			if t != nil && containsLock(t) {
+				pass.Reportf(n.Value.Pos(),
+					"range copies lock-bearing %s by value: the copy's mutex guards nothing — iterate by index or store pointers", t.String())
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				star, ok := rhs.(*ast.StarExpr)
+				if !ok {
+					continue
+				}
+				t := pass.Info.TypeOf(star)
+				if t != nil && containsLock(t) {
+					pass.Reportf(rhs.Pos(),
+						"dereference copies lock-bearing %s by value: the copy's mutex guards nothing", t.String())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// syncLockCall reports whether call is a method call on sync.Mutex or
+// sync.RWMutex (directly or through an embedded field), returning the
+// method name.
+func syncLockCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// containsLock reports whether t holds a sync.Mutex or sync.RWMutex by
+// value (directly, in a struct field, or in an array element).
+func containsLock(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				return true
+			}
+		}
+		return containsLock(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem())
+	}
+	return false
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

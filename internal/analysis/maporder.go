@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MapOrder pins the "Canonical bytes" invariant: store WAL records and
+// audit/digest preimages are canonical encodings, byte-for-byte stable
+// across runs. Go map iteration order is deliberately randomized, so a
+// `range someMap` whose body feeds a canonical encoder (core.Append*,
+// CanonicalBytes, Encode, Digest) or a hash (crypto/*, hash/*) would
+// make the "canonical" bytes differ run to run. Iterate a sorted key
+// slice instead (see Bundle.FeatureKeys).
+var MapOrder = &Analyzer{
+	Name:      "sage/maporder",
+	Doc:       "forbid map iteration feeding canonical encoders or digests",
+	Invariant: "Canonical bytes: encodings are map-order-independent",
+	Applies: func(p string) bool {
+		return pathIn(p, "internal/core", "internal/store")
+	},
+	Run: runMapOrder,
+}
+
+var canonicalFuncRe = regexp.MustCompile(`^(Append[A-Z].*|CanonicalBytes|Digest|Encode.*)$`)
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := canonicalSink(pass, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration feeds canonical encoding (%s): iteration order is randomized, so the bytes are not canonical — iterate sorted keys instead",
+					sink)
+			}
+			return true
+		})
+	}
+}
+
+// canonicalSink returns the name of the first canonical-encoding or
+// hashing call inside body, or "" if there is none.
+func canonicalSink(pass *Pass, body ast.Node) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = fun
+		case *ast.SelectorExpr:
+			callee = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := pass.Info.Uses[callee].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		switch {
+		case pathIn(path, "internal/core", "internal/store") && canonicalFuncRe.MatchString(fn.Name()):
+			sink = fn.Name()
+		case strings.HasPrefix(path, "crypto/") || path == "hash" || strings.HasPrefix(path, "hash/"):
+			sink = path + "." + fn.Name()
+		}
+		return true
+	})
+	return sink
+}

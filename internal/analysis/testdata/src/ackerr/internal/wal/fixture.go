@@ -1,0 +1,42 @@
+// Package wal is the sage/ackerr fixture: durability methods whose
+// error results get discarded — each discard is an acked non-durable
+// write waiting to happen.
+package wal
+
+// Log mirrors the real WAL's durability surface.
+type Log struct{}
+
+func (l *Log) Append(typ byte, payload []byte) error { return nil }
+func (l *Log) Sync() error                           { return nil }
+func (l *Log) Compact(records [][]byte) error        { return nil }
+
+// Commit mirrors the group-commit ticket.
+type Commit struct{}
+
+func (c Commit) Wait() error { return nil }
+
+func (l *Log) AppendAsync(typ byte, payload []byte) (Commit, error) { return Commit{}, nil }
+
+// BadDiscards drops durability errors five different ways.
+func BadDiscards(l *Log) {
+	l.Append(1, nil)              // want `error from wal Append discarded`
+	_ = l.Sync()                  // want `error from wal Sync assigned to blank`
+	defer l.Sync()                // want `error from deferred wal Sync discarded`
+	c, _ := l.AppendAsync(1, nil) // want `error from wal AppendAsync assigned to blank`
+	go c.Wait()                   // want `error from wal Wait discarded in go statement`
+}
+
+// GoodHandled consumes every durability error.
+func GoodHandled(l *Log) error {
+	if err := l.Append(1, nil); err != nil {
+		return err
+	}
+	c, err := l.AppendAsync(2, nil)
+	if err != nil {
+		return err
+	}
+	if err := c.Wait(); err != nil {
+		return err
+	}
+	return l.Sync()
+}

@@ -1,0 +1,53 @@
+// Package gateway is the sage/ctx fixture: request-scoped code
+// severing the caller's deadline chain with context.Background().
+package gateway
+
+import (
+	"context"
+	"net/http"
+)
+
+type proxy struct{}
+
+// BadHandler drops the request's context: a stalled upstream now hangs
+// this handler forever instead of failing over.
+func (p *proxy) BadHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background in a request-scoped function`
+	p.forward(ctx)
+}
+
+// BadAttempt starts a per-attempt deadline from a fresh root instead
+// of the caller's context.
+func (p *proxy) BadAttempt(ctx context.Context, url string) error {
+	attempt, cancel := context.WithTimeout(context.TODO(), 0) // want `context\.TODO in a request-scoped function`
+	defer cancel()
+	p.forward(attempt)
+	_ = url
+	return nil
+}
+
+// BadClosure: a goroutine spawned inside request scope still serves
+// the request — the closure inherits the scoping.
+func (p *proxy) BadClosure(ctx context.Context) {
+	go func() {
+		p.forward(context.Background()) // want `context\.Background in a request-scoped function`
+	}()
+}
+
+// GoodLifecycle has no caller context in its signature: Background is
+// the correct root for a health-probe loop.
+func (p *proxy) GoodLifecycle() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.forward(ctx)
+}
+
+// GoodDerived threads the caller's context through.
+func (p *proxy) GoodDerived(ctx context.Context) error {
+	attempt, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	p.forward(attempt)
+	return nil
+}
+
+func (p *proxy) forward(ctx context.Context) { _ = ctx }

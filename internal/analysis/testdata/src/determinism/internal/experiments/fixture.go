@@ -1,0 +1,41 @@
+// Package experiments is the sage/determinism fixture: an experiment
+// cell reaching for the wall clock or process-global randomness. Cell
+// output must derive only from cell coordinates (rng.MixSeed).
+package experiments
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// BadCell seeds from the scheduler's wall clock: output now depends on
+// when the cell ran.
+func BadCell() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+// BadElapsed times the cell from inside the deterministic core.
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+// BadGlobalRand draws from the process-global source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in deterministic package`
+}
+
+// BadGlobalRandV2 does the same through math/rand/v2.
+func BadGlobalRandV2() float64 {
+	return randv2.Float64() // want `global rand\.Float64 in deterministic package`
+}
+
+// GoodSeeded derives its generator from an explicit seed — allowed.
+func GoodSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// GoodSeededV2 is the math/rand/v2 equivalent — allowed.
+func GoodSeededV2(s0, s1 uint64) float64 {
+	return randv2.New(randv2.NewPCG(s0, s1)).Float64()
+}

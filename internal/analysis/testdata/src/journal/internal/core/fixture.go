@@ -1,0 +1,67 @@
+// Package core is the sage/journal fixture: a journaled ledger type
+// with good and bad mutation paths.
+package core
+
+import "errors"
+
+// Ledger is the journaled type under test.
+type Ledger struct {
+	state   map[string]int
+	journal func(rec string) error
+}
+
+// GoodCharge journals before mutating and before the nil-return ack.
+//
+//sage:journaled
+func (l *Ledger) GoodCharge(id string) error {
+	if _, ok := l.state[id]; !ok {
+		return errors.New("unknown block")
+	}
+	if err := l.journal("charge " + id); err != nil {
+		return err
+	}
+	l.state[id]++
+	return nil
+}
+
+// BadCharge mutates and acks with no journal call anywhere.
+//
+//sage:journaled
+func (l *Ledger) BadCharge(id string) error { // want `never calls a journal/stage function`
+	l.state[id]++
+	return nil // want `no journal call on the path`
+}
+
+// BadEarlyAck journals eventually, but one success path acks a
+// mutation before the record is staged.
+//
+//sage:journaled
+func (l *Ledger) BadEarlyAck(id string) error {
+	l.state[id]++
+	if id == "" {
+		return nil // want `no journal call on the path`
+	}
+	return l.journal("ack " + id)
+}
+
+// Mutate is an exported mutator with no durability annotation at all.
+func (l *Ledger) Mutate(id string) { // want `neither //sage:journaled nor //sage:nojournal`
+	l.state[id] = 0
+}
+
+// Reset is declared exempt, with a reason — allowed.
+//
+//sage:nojournal recovery-only helper, runs before a journal is installed
+func (l *Ledger) Reset() {
+	l.state = map[string]int{}
+}
+
+// BadReset claims exemption without saying why.
+//
+//sage:nojournal
+func (l *Ledger) BadReset() { // want `has no reason`
+	l.state = nil
+}
+
+// Get is a read: no annotation needed.
+func (l *Ledger) Get(id string) int { return l.state[id] }

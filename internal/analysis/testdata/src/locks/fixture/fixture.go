@@ -1,0 +1,66 @@
+// Package fixture is the sage/locks fixture: lock acquisition in map
+// iteration order, unlocks preceding their locks, and lock-bearing
+// value copies.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type sharded struct {
+	mu     sync.Mutex
+	shards map[int]*shard
+	list   []shard
+	byIdx  []*shard
+}
+
+// BadMapOrderLocking acquires shard locks in randomized map order: two
+// concurrent holders deadlock.
+func (s *sharded) BadMapOrderLocking() {
+	for _, sh := range s.shards {
+		sh.mu.Lock() // want `lock acquired inside map iteration`
+		sh.n++
+		sh.mu.Unlock()
+	}
+}
+
+// BadUnlockFirst releases a mutex this function has not taken yet.
+func (s *sharded) BadUnlockFirst() {
+	s.mu.Unlock() // want `Unlock precedes its Lock`
+	s.mu.Lock()
+}
+
+// BadValueRange copies each lock-bearing shard by value.
+func (s *sharded) BadValueRange() int {
+	total := 0
+	for _, sh := range s.list { // want `range copies lock-bearing`
+		total += sh.n
+	}
+	return total
+}
+
+// BadDerefCopy copies a shard (and its mutex) through a dereference.
+func (s *sharded) BadDerefCopy(p *shard) int {
+	c := *p // want `dereference copies lock-bearing`
+	return c.n
+}
+
+// GoodOrderedLocking iterates a slice: acquisition order is the
+// ascending index order the sharded ledger requires.
+func (s *sharded) GoodOrderedLocking() {
+	for _, sh := range s.byIdx {
+		sh.mu.Lock()
+		sh.n++
+		sh.mu.Unlock()
+	}
+}
+
+// GoodLockUnlock is the plain dominated pairing.
+func (s *sharded) GoodLockUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.list)
+}

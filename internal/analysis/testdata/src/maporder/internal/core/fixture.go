@@ -1,0 +1,48 @@
+// Package core is the sage/maporder fixture: canonical encoders and
+// digests fed from randomized map iteration order.
+package core
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+// AppendString mirrors the real canonical encoder's shape (a length-
+// prefixed append in the audit encoding).
+func AppendString(dst []byte, s string) []byte {
+	return append(dst, s...)
+}
+
+// BadEncode feeds the canonical encoder straight from a map range: the
+// "canonical" bytes now differ run to run.
+func BadEncode(m map[string][]byte) []byte {
+	var out []byte
+	for k := range m { // want `map iteration feeds canonical encoding`
+		out = AppendString(out, k)
+	}
+	return out
+}
+
+// BadDigest hashes values in map order.
+func BadDigest(m map[string]string) [][sha256.Size]byte {
+	var out [][sha256.Size]byte
+	for _, v := range m { // want `map iteration feeds canonical encoding`
+		out = append(out, sha256.Sum256([]byte(v)))
+	}
+	return out
+}
+
+// GoodSortedEncode collects keys (nothing canonical in that body),
+// sorts them, and encodes over the slice — the blessed idiom.
+func GoodSortedEncode(m map[string][]byte) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = AppendString(out, k)
+	}
+	return out
+}

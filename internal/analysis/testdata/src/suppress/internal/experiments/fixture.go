@@ -1,0 +1,27 @@
+// Package experiments is the suppression fixture: one live finding,
+// two correctly suppressed ones, and one malformed (reason-less)
+// ignore that must not suppress.
+package experiments
+
+import "time"
+
+// Live is an unsuppressed violation.
+func Live() int64 {
+	return time.Now().UnixNano()
+}
+
+// SuppressedInline carries a trailing ignore with a reason.
+func SuppressedInline() int64 {
+	return time.Now().UnixNano() //lint:ignore sage/determinism fixture: exercising inline suppression
+}
+
+// SuppressedAbove carries the comment-above form.
+func SuppressedAbove() int64 {
+	//lint:ignore sage/determinism fixture: exercising comment-above suppression
+	return time.Now().UnixNano()
+}
+
+// MalformedIgnore has no reason, so the finding stays live.
+func MalformedIgnore() int64 {
+	return time.Now().UnixNano() //lint:ignore sage/determinism
+}

@@ -171,6 +171,8 @@ func (ac *AccessControl) Policy() Policy { return ac.policy }
 // SetRetireCallback registers a function invoked (synchronously, without
 // the lock held by callers' view) whenever a block is retired. Sage's
 // DP-informed retention policy hooks deletion of the raw data here.
+//
+//sage:nojournal configuration hook, not ledger state — recovery reinstalls it
 func (ac *AccessControl) SetRetireCallback(f func(data.BlockID)) {
 	ac.cfgMu.Lock()
 	defer ac.cfgMu.Unlock()
@@ -312,6 +314,8 @@ func awaitAll(waits []func() error) error {
 // journal failure panics: RegisterBlock has no error return, and a
 // ledger that cannot journal must stop rather than diverge from its
 // log.
+//
+//sage:journaled
 func (ac *AccessControl) RegisterBlock(id data.BlockID) bool {
 	k := ac.ShardOf(id)
 	sh := ac.shards[k]
@@ -424,6 +428,8 @@ func dedupIDs(ids []data.BlockID) []data.BlockID {
 // all-or-nothing multi-shard reservation that keeps the ceiling
 // invariant un-raceable — and the journal record is split into one
 // sub-record per shard so each record lands in its shard's WAL segment.
+//
+//sage:journaled
 func (ac *AccessControl) Request(ids []data.BlockID, b privacy.Budget) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("core: request names no blocks")
@@ -536,6 +542,8 @@ func (ac *AccessControl) shouldRetire(st *blockState) bool {
 // refunding a prefix. Duplicate IDs are coalesced for symmetry with
 // Request — a reservation charged once per distinct block must be
 // returned once per distinct block.
+//
+//sage:journaled
 func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 	if err := b.Validate(); err != nil {
 		return err
@@ -595,6 +603,8 @@ func (ac *AccessControl) Refund(ids []data.BlockID, b privacy.Budget) error {
 
 // Retire forcibly retires a block regardless of remaining budget. Forced
 // retirement is sticky: no refund can reverse it.
+//
+//sage:journaled
 func (ac *AccessControl) Retire(id data.BlockID) error {
 	k := ac.ShardOf(id)
 	sh := ac.shards[k]

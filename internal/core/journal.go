@@ -132,6 +132,8 @@ type JournalStageFunc func(shard int, rec LedgerRecord) (wait func() error, err 
 // surface an error treat a journal failure as fatal (panic): a durable
 // ledger that can no longer journal must stop taking mutations rather
 // than silently diverge from its log.
+//
+//sage:nojournal installs the journal itself; runs before any journal exists
 func (ac *AccessControl) SetJournal(journal func(LedgerRecord) error) {
 	if journal == nil {
 		ac.SetShardJournal(nil)
@@ -145,6 +147,8 @@ func (ac *AccessControl) SetJournal(journal func(LedgerRecord) error) {
 // SetShardJournal installs the staged, shard-aware journal (see
 // JournalStageFunc). internal/durable binds each shard to its own WAL
 // segment here; SetJournal is the single-segment convenience wrapper.
+//
+//sage:nojournal installs the journal itself; runs before any journal exists
 func (ac *AccessControl) SetShardJournal(stage JournalStageFunc) {
 	ac.cfgMu.Lock()
 	defer ac.cfgMu.Unlock()
@@ -257,6 +261,8 @@ func (ac *AccessControl) encodeSnapshotLocked(ids []data.BlockID) []byte {
 // shard's blocks, and restoring segment k must not discard the blocks
 // segments 0..k-1 already rebuilt. On a fresh ledger (the only place
 // recovery starts) merging into the empty map is a plain restore.
+//
+//sage:nojournal recovery path — replays the log, must not re-journal it
 func (ac *AccessControl) RestoreSnapshot(snap []byte) error {
 	c := NewCursor(snap)
 	if v := c.Uint(); c.Err() == nil && v != snapshotVersion {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package safety
+
+// RaceEnabled reports whether the binary was built with the race
+// detector, which inflates allocation counts.
+const RaceEnabled = false

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+	"repro/internal/safety"
+	"repro/internal/taxi"
+)
+
+// Allocation budgets for the two serving fast paths whose whole point
+// is not allocating. Budgets sit well above the measured steady state
+// (headroom for runtime/encoding changes across Go releases) and far
+// below the unoptimized numbers, so losing the optimization — dropping
+// the encode cache, or un-pooling the batch scratch — fails the test.
+const (
+	// preEncoded cache hit: generation check + map lookup, zero allocs
+	// measured. Re-encoding per request (the pre-PR 4 behavior) costs
+	// dozens of allocs and blows this immediately.
+	preEncodedHitBudget = 2
+
+	// One warm 256-row /predict/batch request through the mux:
+	// pooled decode + positional predict + pooled encode measured at
+	// ~369 allocs/op in PR 4, down from 2182 without the pool. The
+	// budget fails the unpooled path while leaving headroom over the
+	// measured number.
+	batchWarmBudget = 500
+)
+
+// TestPreEncodedHitAllocs pins the immutable-read fast path: once a
+// response body is in the encode cache, serving it again must not
+// re-encode (and so must not allocate).
+func TestPreEncodedHitAllocs(t *testing.T) {
+	s := New()
+	srv := NewServer(s)
+
+	builds := 0
+	build := func() any {
+		builds++
+		return map[string]any{"models": []string{"a", "b"}}
+	}
+	if _, err := srv.preEncoded("models", build); err != nil {
+		t.Fatal(err)
+	}
+
+	got := safety.MaxAllocs(t, 1000, preEncodedHitBudget, func() {
+		if _, err := srv.preEncoded("models", build); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if builds != 1 {
+		t.Errorf("build ran %d times: hit path re-encoded instead of serving the cache", builds)
+	}
+	t.Logf("preEncoded hit path: %.1f allocs/op (budget %d)", got, preEncodedHitBudget)
+}
+
+// TestPredictBatchWarmAllocs pins the pooled batch path end to end: a
+// warm 256-row POST /predict/batch through the handler reuses the
+// pooled scratch (row buffers, outputs, encode buffer), so its
+// allocations stay bounded by per-request HTTP plumbing, not by batch
+// size. Un-pooling batchScratch roughly sextuples this number.
+func TestPredictBatchWarmAllocs(t *testing.T) {
+	s := New()
+	weights := make([]float64, taxi.FeatureDim)
+	for i := range weights {
+		weights[i] = float64(i%7) * 0.1
+	}
+	spec, err := Serialize(&ml.LinearModel{Weights: weights, Bias: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(Bundle{Name: "bench", Model: spec})
+	h := NewServer(s).Handler()
+
+	r := rng.New(11)
+	rows := make([][]float64, 256)
+	for i := range rows {
+		x := make([]float64, taxi.FeatureDim)
+		for j := range x {
+			x[j] = r.Float64()
+		}
+		rows[i] = x
+	}
+	payload, err := json.Marshal(batchRequest{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func() {
+		req := httptest.NewRequest(http.MethodPost, "/predict/batch?model=bench", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	serve() // warm the model cache and the scratch pool
+
+	got := safety.MaxAllocs(t, 50, batchWarmBudget, serve)
+	t.Logf("warm 256-row batch: %.1f allocs/op (budget %d)", got, batchWarmBudget)
+}

@@ -298,6 +298,8 @@ type Store struct {
 // Apply returns the error; Publish, which has no error return, panics —
 // a durable store that cannot journal must stop taking releases rather
 // than diverge from its log.
+//
+//sage:nojournal installs the journal itself; runs before any journal exists
 func (s *Store) SetJournal(journal func(canonical []byte) error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -356,6 +358,8 @@ func (b Bundle) deepCopy() *Bundle {
 // version included) before it becomes visible; a journal failure
 // panics, since Publish cannot report it and must not acknowledge an
 // unjournaled release.
+//
+//sage:journaled
 func (s *Store) Publish(b Bundle) int {
 	stored := b.deepCopy()
 	s.mu.Lock()
@@ -418,6 +422,8 @@ func (e *VersionGapError) Error() string {
 //
 // A version of 0 (a bundle that never went through Publish) is
 // rejected.
+//
+//sage:journaled
 func (s *Store) Apply(b Bundle) (applied bool, err error) {
 	if b.Version < 1 {
 		return false, fmt.Errorf("store: apply %s: bundle has no version (got %d)", b.Name, b.Version)
