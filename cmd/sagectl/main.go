@@ -24,6 +24,13 @@
 //	POST /predict?model=<name>             single prediction
 //	POST /predict/batch?model=<name>       batched predictions
 //	GET  /features?model=<name>&key=hour_speed[&index=H]   serving-time join
+//	GET  /metrics                          Prometheus text exposition
+//
+// Every sagectl server — serve, replica, daemon, gateway — exposes GET
+// /metrics in the Prometheus text format (internal/metrics): request
+// latency histograms, push/shed/breaker counters, ledger ε gauges, and
+// WAL fsync-stall histograms, named per the sage_<tier>_<name>_<unit>
+// convention documented in internal/metrics.
 //
 // With -push, every accepted bundle is additionally pushed to the given
 // replica endpoints (versioned idempotent push with retry/backoff, gap
@@ -85,6 +92,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/durable"
 	"repro/internal/gateway"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
 	"repro/internal/replica"
@@ -720,5 +728,14 @@ func runServe(opt options, budget privacy.Budget) error {
 	fmt.Printf("  curl %s/models/taxi-lr-0/provenance\n", base)
 	fmt.Printf("  curl %s/features'?model=taxi-lr-0&key=hour_speed&index=8'\n", base)
 	fmt.Printf("  curl -X POST %s/predict/batch'?model=taxi-lr-0' -d '{\"rows\":[[...48 features...]]}'\n", base)
-	return newHTTPServer(opt.addr, store.NewServer(st).Handler()).ListenAndServe()
+	srv := store.NewServer(st)
+	reg := metrics.New()
+	srv.Instrument(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.TextExpose(w)
+	})
+	mux.Handle("/", srv.Handler())
+	return newHTTPServer(opt.addr, mux).ListenAndServe()
 }

@@ -53,7 +53,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/durable"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/privacy"
 	"repro/internal/replica"
@@ -192,6 +195,33 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// tickPhase indexes the loop's instrumented phases; the order matches
+// the numbered sections of step.
+type tickPhase int
+
+const (
+	phaseIngest tickPhase = iota
+	phaseTrain
+	phaseRetention
+	phaseCompaction
+	numPhases
+)
+
+func (p tickPhase) String() string {
+	switch p {
+	case phaseIngest:
+		return "ingest"
+	case phaseTrain:
+		return "train"
+	case phaseRetention:
+		return "retention"
+	case phaseCompaction:
+		return "compaction"
+	default:
+		return "unknown"
+	}
+}
+
 // Daemon is one continuously-operating Sage platform instance.
 type Daemon struct {
 	cfg  Config
@@ -200,14 +230,22 @@ type Daemon struct {
 	srv  *store.Server
 	pub  *replica.Publisher
 
-	mu        sync.Mutex
-	ticks     int
-	nextBlock data.BlockID
-	published int
-	accepted  int
-	blocked   int
-	rejected  int
-	retired   int
+	// reg is the daemon's metric registry, served at GET /metrics. The
+	// WAL and store-server families register into it too, so one scrape
+	// sees the whole node. Ledger ε and loop-counter series are gauge
+	// funcs over the authoritative state — no parallel bookkeeping.
+	reg      *metrics.Registry
+	phaseSec [numPhases]*metrics.Histogram
+
+	mu          sync.Mutex
+	ticks       int
+	nextBlock   data.BlockID
+	published   int
+	accepted    int
+	blocked     int
+	rejected    int
+	retired     int
+	compactions int
 	// lastSpeeds is the hour_speed table of the newest ingested block —
 	// the serving-time join table accepted bundles ship (only the loop
 	// goroutine touches it).
@@ -233,11 +271,13 @@ func New(cfg Config) (*Daemon, durable.Stats, error) {
 		return nil, durable.Stats{}, fmt.Errorf("daemon: global ε must be > 0")
 	}
 
-	d := &Daemon{cfg: cfg}
+	d := &Daemon{cfg: cfg, reg: metrics.New()}
 	d.db = data.NewGrowingDatabase(data.TimePartitioner{Window: cfg.Window})
 	plat, stats, err := durable.Open(cfg.Dir, core.Policy{Global: cfg.Global}, durable.Options{
 		NoSync:       cfg.NoSync,
 		LedgerShards: cfg.LedgerShards,
+		Metrics:      d.reg,
+		Logf:         cfg.Logf,
 		// DP-informed retention (§3.2): a retired block's raw data is
 		// deleted. Registered before replay so recovery reproduces
 		// retirement stickiness; during replay the database is still
@@ -254,6 +294,8 @@ func New(cfg Config) (*Daemon, durable.Stats, error) {
 	}
 	d.plat = plat
 	d.srv = store.NewServer(plat.Store)
+	d.srv.Instrument(d.reg)
+	d.instrument()
 
 	// Resume the stream where the ledger says it stopped. Retired
 	// blocks stay deleted; every live block's raw data is regenerated
@@ -300,6 +342,20 @@ func New(cfg Config) (*Daemon, durable.Stats, error) {
 			opts = append(opts, replica.WithAuth(cfg.PushToken))
 		}
 		d.pub = replica.NewPublisher(plat.Store, cfg.PushEndpoints, opts...)
+		// Push lag per replica: how many authoritative versions the
+		// replica has not acked yet, from the publisher's watermark
+		// cache (the same numbers GET /daemon/status reports).
+		for _, ep := range cfg.PushEndpoints {
+			d.reg.GaugeFunc("sage_daemon_replica_lag_versions",
+				"Authoritative store versions not yet applied by this replica.",
+				func() float64 {
+					lag := countVersions(d.plat.Store)
+					for name := range d.plat.Store.Watermarks() {
+						lag -= d.pub.Watermark(ep, name)
+					}
+					return float64(max(lag, 0))
+				}, metrics.Label{Name: "endpoint", Value: ep})
+		}
 		// Startup heal: replicas that missed releases while this
 		// publisher was down converge now, not at the next publish.
 		// Unreachable replicas stay flagged and heal lazily.
@@ -308,6 +364,64 @@ func New(cfg Config) (*Daemon, durable.Stats, error) {
 		}
 	}
 	return d, stats, nil
+}
+
+// instrument registers the daemon-tier metric families. Ledger ε and
+// loop counters are gauge funcs over the authoritative state (the
+// ledger itself, the mu-guarded loop counters), so /metrics and
+// /daemon/status can never disagree.
+func (d *Daemon) instrument() {
+	for p := tickPhase(0); p < numPhases; p++ {
+		d.phaseSec[p] = d.reg.Histogram("sage_daemon_tick_phase_seconds",
+			"Duration of one loop-tick phase.", metrics.LatencyBuckets(),
+			metrics.Label{Name: "phase", Value: p.String()})
+	}
+	// Stream-wide privacy loss is the max cumulative loss over blocks
+	// (Theorem 4.2), so spent/remaining report against the per-block
+	// ceiling εg — remaining hits zero exactly when some block is
+	// exhausted, which is when training starts to block.
+	d.reg.GaugeFunc("sage_daemon_ledger_eps_spent",
+		"Stream-wide privacy loss ε (max cumulative loss over blocks).",
+		func() float64 { return d.plat.AC.StreamLoss().Epsilon })
+	d.reg.GaugeFunc("sage_daemon_ledger_eps_remaining",
+		"Headroom to the global per-block ceiling εg.",
+		func() float64 { return math.Max(0, d.cfg.Global.Epsilon-d.plat.AC.StreamLoss().Epsilon) })
+	for k := 0; k < d.plat.LedgerShards(); k++ {
+		shard := metrics.Label{Name: "shard", Value: strconv.Itoa(k)}
+		spent := func() float64 {
+			loss := 0.0
+			for _, id := range d.plat.AC.ShardBlocks(k) {
+				loss = math.Max(loss, d.plat.AC.BlockLoss(id).Epsilon)
+			}
+			return loss
+		}
+		d.reg.GaugeFunc("sage_daemon_ledger_shard_eps_spent",
+			"Max cumulative privacy loss ε over this ledger shard's blocks.",
+			spent, shard)
+		d.reg.GaugeFunc("sage_daemon_ledger_shard_eps_remaining",
+			"This shard's headroom to the global per-block ceiling εg.",
+			func() float64 { return math.Max(0, d.cfg.Global.Epsilon-spent()) }, shard)
+	}
+	d.reg.GaugeFunc("sage_daemon_ledger_blocks",
+		"Blocks registered with the ledger (including retired ones).",
+		func() float64 { return float64(len(d.plat.AC.Blocks())) })
+	d.reg.GaugeFunc("sage_daemon_store_versions",
+		"Published model versions across all names (applied-version sum).",
+		func() float64 { return float64(countVersions(d.plat.Store)) })
+	counter := func(name, help string, field *int) {
+		d.reg.GaugeFunc(name, help, func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(*field)
+		})
+	}
+	counter("sage_daemon_ticks", "Loop iterations started.", &d.ticks)
+	counter("sage_daemon_published_versions", "Bundles published into the store.", &d.published)
+	counter("sage_daemon_accepted_runs", "Training runs whose model was ACCEPTed.", &d.accepted)
+	counter("sage_daemon_rejected_runs", "Training runs whose model was REJECTed.", &d.rejected)
+	counter("sage_daemon_blocked_ticks", "Ticks where no pipeline could afford to train.", &d.blocked)
+	counter("sage_daemon_retired_blocks", "Blocks retired by the DP-retention policy.", &d.retired)
+	counter("sage_daemon_compactions", "WAL compaction passes that ran.", &d.compactions)
 }
 
 func countVersions(st *store.Store) int {
@@ -401,6 +515,7 @@ func (d *Daemon) step() error {
 	d.mu.Unlock()
 
 	// 1. Ingest this tick's block and account its feature release.
+	phaseStart := time.Now()
 	speeds := d.ingestBlock(block)
 	d.lastSpeeds = speeds
 	if d.plat.AC.RegisterBlock(block) && d.cfg.FeatureEps > 0 {
@@ -408,6 +523,7 @@ func (d *Daemon) step() error {
 			return fmt.Errorf("daemon: charging feature release for block %d: %w", block, err)
 		}
 	}
+	d.phaseSec[phaseIngest].ObserveSince(phaseStart)
 
 	// 2. One privacy-adaptive training run, fair round-robin. A naive
 	// tick%N rotation starves pipelines when the budget-refill cadence
@@ -416,6 +532,7 @@ func (d *Daemon) step() error {
 	// advances only when a pipeline actually got to train; pipelines
 	// that are merely unaffordable this tick are skipped at no budget
 	// cost and keep their place in line.
+	phaseStart = time.Now()
 	trained := false
 	for k := 0; k < d.cfg.Pipelines; k++ {
 		idx := (d.nextPipe + k) % d.cfg.Pipelines
@@ -434,8 +551,10 @@ func (d *Daemon) step() error {
 		d.blocked++
 		d.mu.Unlock()
 	}
+	d.phaseSec[phaseTrain].ObserveSince(phaseStart)
 
 	// 3. Retention: retire blocks older than the window.
+	phaseStart = time.Now()
 	if d.cfg.Retention > 0 {
 		horizon := block - data.BlockID(d.cfg.Retention) + 1
 		for _, id := range d.plat.AC.Blocks() {
@@ -451,15 +570,20 @@ func (d *Daemon) step() error {
 			d.cfg.Logf("daemon: tick %d: retired block %d (retention window %d)", tick, id, d.cfg.Retention)
 		}
 	}
+	d.phaseSec[phaseRetention].ObserveSince(phaseStart)
 
 	// 4. Periodic WAL compaction: the fixed tick cadence bounds staleness,
 	// the byte threshold bounds recovery time for write-heavy logs — an
 	// oversized ledger segment is compacted the tick it crosses the
 	// threshold, not when the cadence next comes around.
+	phaseStart = time.Now()
 	if (tick+1)%d.cfg.CompactEvery == 0 {
 		if err := d.plat.Compact(); err != nil {
 			return fmt.Errorf("daemon: compaction: %w", err)
 		}
+		d.mu.Lock()
+		d.compactions++
+		d.mu.Unlock()
 		lb, sb := d.plat.LogSizes()
 		d.cfg.Logf("daemon: tick %d: compacted WALs (ledger %dB, store %dB)", tick, lb, sb)
 	} else if d.cfg.CompactBytes > 0 && d.plat.MaxLogSize() > d.cfg.CompactBytes {
@@ -468,10 +592,14 @@ func (d *Daemon) step() error {
 			return fmt.Errorf("daemon: size-triggered compaction: %w", err)
 		}
 		if n > 0 {
+			d.mu.Lock()
+			d.compactions++
+			d.mu.Unlock()
 			lb, sb := d.plat.LogSizes()
 			d.cfg.Logf("daemon: tick %d: compacted %d oversized log(s) (ledger %dB, store %dB)", tick, n, lb, sb)
 		}
 	}
+	d.phaseSec[phaseCompaction].ObserveSince(phaseStart)
 	return nil
 }
 
@@ -588,6 +716,7 @@ type Status struct {
 	Rejected        int                       `json:"rejected"`
 	Blocked         int                       `json:"blocked"`
 	RetiredBlocks   int                       `json:"retired_blocks"`
+	Compactions     int                       `json:"compactions"`
 	WALLedgerBytes  int64                     `json:"wal_ledger_bytes"`
 	WALStoreBytes   int64                     `json:"wal_store_bytes"`
 	LedgerShards    int                       `json:"ledger_shards"`
@@ -623,6 +752,7 @@ func (d *Daemon) Status() Status {
 		Rejected:      d.rejected,
 		Blocked:       d.blocked,
 		RetiredBlocks: d.retired,
+		Compactions:   d.compactions,
 	}
 	d.mu.Unlock()
 	st.Blocks = LedgerStatus(d.plat.AC)
@@ -647,13 +777,21 @@ func (d *Daemon) Status() Status {
 // Platform exposes the underlying durable platform (tests).
 func (d *Daemon) Platform() *durable.Platform { return d.plat }
 
+// Metrics exposes the daemon's registry (tests scrape it without going
+// through HTTP).
+func (d *Daemon) Metrics() *metrics.Registry { return d.reg }
+
 // Handler returns the daemon's HTTP surface: the full single-node
 // serving API (shared store.Server handlers, so daemon, serve mode, and
-// replicas cannot drift) plus GET /daemon/status.
+// replicas cannot drift) plus GET /daemon/status and GET /metrics.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /daemon/status", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, d.Status())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = d.reg.TextExpose(w)
 	})
 	mux.Handle("/", d.srv.Handler())
 	return mux

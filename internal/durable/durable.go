@@ -100,6 +100,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -143,6 +144,13 @@ type Options struct {
 	// DisableGroupCommit turns off WAL group commit on the ledger
 	// segments (benchmark baseline; production keeps it on).
 	DisableGroupCommit bool
+	// Metrics, when non-nil, instruments every write-ahead log (and the
+	// shared sync group, if one is used) in the given registry; series
+	// are labeled per log file. See wal.Options.Metrics.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives one-line structured state-transition
+	// logs from the logs (e.g. WAL poisoning). See wal.Options.Logf.
+	Logf func(format string, args ...any)
 	// OnRetire is the DP-retention hook, registered on the ledger
 	// *before* replay so that recovery reproduces retirement stickiness
 	// (a hook that deleted raw data makes the retirement irreversible)
@@ -219,6 +227,8 @@ func Open(dir string, policy core.Policy, opts Options) (*Platform, Stats, error
 	walOpts := wal.Options{
 		NoSync:      opts.NoSync,
 		GroupCommit: !opts.NoSync && !opts.DisableGroupCommit,
+		Metrics:     opts.Metrics,
+		Logf:        opts.Logf,
 	}
 	// With several segments on one filesystem, per-segment fsyncs
 	// serialize on the filesystem journal; a shared sync group turns a
@@ -227,6 +237,9 @@ func Open(dir string, policy core.Policy, opts Options) (*Platform, Stats, error
 	var group *wal.SyncGroup
 	if nshards > 1 && walOpts.GroupCommit && wal.SyncGroupSupported() {
 		if g, err := wal.NewSyncGroup(dir); err == nil {
+			if opts.Metrics != nil {
+				g.Instrument(opts.Metrics)
+			}
 			group = g
 			walOpts.SyncGroup = g
 		}

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Class buckets requests by cost for admission control. The gateway's
@@ -83,15 +85,27 @@ type admission struct {
 	global      atomic.Int64
 	globalLimit int64
 	batchSoft   int64
-	shed        [numClasses]atomic.Int64
+	// shed counters live in the gateway's metric registry — the status
+	// report reads the same series /metrics exposes, so the two can
+	// never drift. Handles are pre-resolved per class; admit never does
+	// a registry lookup.
+	shed [numClasses]*metrics.Counter
 }
 
-func newAdmission(l Limits) *admission {
+func newAdmission(l Limits, reg *metrics.Registry) *admission {
 	l.applyDefaults()
 	a := &admission{}
 	a.sems[ClassRead] = make(chan struct{}, l.Read)
 	a.sems[ClassPredict] = make(chan struct{}, l.Predict)
 	a.sems[ClassBatch] = make(chan struct{}, l.Batch)
+	for c := Class(0); c < numClasses; c++ {
+		a.shed[c] = reg.Counter("sage_gateway_shed_total",
+			"Requests refused by admission control, by route class.",
+			metrics.Label{Name: "class", Value: c.String()})
+	}
+	reg.GaugeFunc("sage_gateway_inflight_requests",
+		"Admitted requests currently in flight (all classes).",
+		func() float64 { return float64(a.global.Load()) })
 	a.globalLimit = int64(l.Read + l.Predict + l.Batch)
 	// Shed-before-collapse ordering: once the gateway as a whole is ¾
 	// full, new batch work is refused so the remaining capacity keeps
@@ -106,7 +120,7 @@ func newAdmission(l Limits) *admission {
 func (a *admission) admit(class Class) (release func(), ok bool) {
 	if a.global.Load() >= a.globalLimit ||
 		(class == ClassBatch && a.global.Load() >= a.batchSoft) {
-		a.shed[class].Add(1)
+		a.shed[class].Inc()
 		return nil, false
 	}
 	select {
@@ -117,16 +131,17 @@ func (a *admission) admit(class Class) (release func(), ok bool) {
 			a.global.Add(-1)
 		}, true
 	default:
-		a.shed[class].Add(1)
+		a.shed[class].Inc()
 		return nil, false
 	}
 }
 
-// shedCounts snapshots the per-class shed counters.
+// shedCounts snapshots the per-class shed counters (a view over the
+// registry series).
 func (a *admission) shedCounts() map[string]int64 {
 	out := make(map[string]int64, int(numClasses))
 	for c := Class(0); c < numClasses; c++ {
-		out[c.String()] = a.shed[c].Load()
+		out[c.String()] = int64(a.shed[c].Value())
 	}
 	return out
 }

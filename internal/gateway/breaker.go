@@ -60,12 +60,36 @@ func (c *BreakerConfig) applyDefaults() {
 type Breaker struct {
 	cfg BreakerConfig
 	now func() time.Time
+	// onTransition, when set, observes every state change. It is called
+	// with the breaker's lock held — so transitions are reported in the
+	// order they happen — and must not call back into the breaker.
+	onTransition func(from, to BreakerState)
 
 	mu       sync.Mutex
 	state    BreakerState
 	fails    int
 	openedAt time.Time
 	probing  bool
+}
+
+// OnTransition installs the state-change observer (transition counters
+// and structured logs). Call before the breaker is shared between
+// goroutines; the field is written without synchronization.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.onTransition = fn
+}
+
+// setStateLocked moves the breaker to state to, notifying the
+// transition observer. Caller holds mu.
+func (b *Breaker) setStateLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
 }
 
 // NewBreaker returns a closed breaker. A zero config gets defaults.
@@ -88,7 +112,7 @@ func (b *Breaker) Allow() bool {
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setStateLocked(BreakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open
@@ -112,16 +136,16 @@ func (b *Breaker) Record(ok bool) {
 		}
 		b.fails++
 		if b.fails >= b.cfg.FailThreshold {
-			b.state = BreakerOpen
+			b.setStateLocked(BreakerOpen)
 			b.openedAt = b.now()
 		}
 	case BreakerHalfOpen:
 		b.probing = false
 		if ok {
-			b.state = BreakerClosed
+			b.setStateLocked(BreakerClosed)
 			b.fails = 0
 		} else {
-			b.state = BreakerOpen
+			b.setStateLocked(BreakerOpen)
 			b.openedAt = b.now()
 		}
 	case BreakerOpen:

@@ -10,7 +10,36 @@ import (
 	"time"
 
 	"repro/internal/faulty"
+	"repro/internal/metrics"
 )
+
+// scrapeGateway fetches the gateway's own /metrics over HTTP (the one
+// route ServeHTTP answers locally instead of proxying) and strict-parses
+// the exposition.
+func scrapeGateway(t *testing.T, base string) metrics.Families {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	fams, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("gateway /metrics is not valid exposition: %v", err)
+	}
+	return fams
+}
+
+// transitionsTo reads one backend's breaker-transition counter.
+func transitionsTo(t *testing.T, fams metrics.Families, backend, to string) float64 {
+	t.Helper()
+	v, _ := fams.Value("sage_gateway_breaker_transitions_total",
+		map[string]string{"backend": backend, "to": to})
+	return v
+}
 
 // TestGatewayChaosKillAndStall is the headline fault-injection e2e: a
 // three-replica fleet serves mixed read/predict traffic while one
@@ -151,6 +180,17 @@ func TestGatewayChaosKillAndStall(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// With both breakers open, the transition counters must already show
+	// the closed→open edge for exactly the faulty backends.
+	midScrape := scrapeGateway(t, gsrv.URL)
+	for _, u := range []string{f.urls[0], f.urls[1]} {
+		if n := transitionsTo(t, midScrape, u, "open"); n < 1 {
+			t.Fatalf("breaker open but sage_gateway_breaker_transitions_total{backend=%s,to=open} = %v", u, n)
+		}
+	}
+	if n := transitionsTo(t, midScrape, f.urls[2], "open"); n != 0 {
+		t.Fatalf("healthy survivor shows %v open transitions", n)
+	}
 	setStrict(true)
 	preSuccess := successes.Load()
 	time.Sleep(400 * time.Millisecond)
@@ -194,6 +234,33 @@ func TestGatewayChaosKillAndStall(t *testing.T) {
 	}
 	if f.injs[0].Fired() == 0 || f.injs[1].Fired() == 0 {
 		t.Error("fault injectors never fired")
+	}
+
+	// The full breaker cycle must be visible in /metrics: each faulty
+	// backend shows open → half-open → closed edges, counters are
+	// monotone across the two scrapes, and the state gauges agree with
+	// the status report (everything re-closed).
+	endScrape := scrapeGateway(t, gsrv.URL)
+	for _, u := range []string{f.urls[0], f.urls[1]} {
+		for _, to := range []string{"open", "half-open", "closed"} {
+			if n := transitionsTo(t, endScrape, u, to); n < 1 {
+				t.Errorf("breaker cycle incomplete: transitions{backend=%s,to=%s} = %v", u, to, n)
+			}
+			if mid, end := transitionsTo(t, midScrape, u, to), transitionsTo(t, endScrape, u, to); end < mid {
+				t.Errorf("transition counter went backwards for %s to=%s: %v -> %v", u, to, mid, end)
+			}
+		}
+		if s, ok := endScrape.Value("sage_gateway_breaker_state", map[string]string{"backend": u}); !ok || s != 0 {
+			t.Errorf("sage_gateway_breaker_state{backend=%s} = %v, want 0 (closed)", u, s)
+		}
+	}
+	if mid, _ := midScrape.Value("sage_gateway_retries_total", nil); mid == 0 {
+		t.Error("zero failover retries in /metrics while two replicas were faulty")
+	} else if end, _ := endScrape.Value("sage_gateway_retries_total", nil); end < mid {
+		t.Errorf("sage_gateway_retries_total went backwards: %v -> %v", mid, end)
+	}
+	if got, _ := endScrape.Value("sage_gateway_retries_total", nil); got != float64(st.Retries) {
+		t.Errorf("/metrics retries %v, /gateway/status retries %d — the views diverged", got, st.Retries)
 	}
 	t.Logf("chaos: %d successes, %d tolerated during convergence, %d retries, %d unroutable",
 		successes.Load(), tolerated.Load(), st.Retries, st.Unroutable)
@@ -379,6 +446,14 @@ func TestGatewayAdmissionShedsUnderSaturation(t *testing.T) {
 	}
 	if sc := g.Status().Shed; sc["batch"] == 0 {
 		t.Error("status report shows zero batch sheds after a saturating load")
+	}
+	// The shed counter in /metrics is the same series the status report
+	// reads; it must equal both the status view and the 503s clients saw.
+	fams := scrapeGateway(t, gsrv.URL)
+	if got, _ := fams.Value("sage_gateway_shed_total", map[string]string{"class": "batch"}); got != float64(shed.Load()) {
+		t.Errorf("sage_gateway_shed_total{class=batch} = %v, clients counted %d sheds", got, shed.Load())
+	} else if got != float64(g.Status().Shed["batch"]) {
+		t.Errorf("/metrics sheds %v, /gateway/status sheds %d — the views diverged", got, g.Status().Shed["batch"])
 	}
 	t.Logf("saturation: %d accepted, %d shed, backend peak concurrency %d/%d",
 		accepted.Load(), shed.Load(), peak.Load(), limits.Batch)

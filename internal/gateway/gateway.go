@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/replica"
 )
 
@@ -99,16 +100,21 @@ type backend struct {
 	applied atomic.Int64
 	// probed: at least one health probe has completed (until then the
 	// backend is assumed routable).
-	probed   atomic.Bool
-	requests atomic.Int64
-	failures atomic.Int64
+	probed atomic.Bool
+	// requests/failures live in the gateway's metric registry (labeled
+	// by backend); the status report reads the same series.
+	requests *metrics.Counter
+	failures *metrics.Counter
+	// transitions counts breaker state changes by destination state,
+	// fed by the breaker's OnTransition hook.
+	transitions [3]*metrics.Counter
 
 	mu      sync.Mutex
 	lastErr string
 }
 
 func (b *backend) noteError(err error) {
-	b.failures.Add(1)
+	b.failures.Inc()
 	b.mu.Lock()
 	b.lastErr = err.Error()
 	b.mu.Unlock()
@@ -127,10 +133,16 @@ type Gateway struct {
 	backends []*backend
 	adm      *admission
 	// rr breaks least-loaded ties round-robin.
-	rr         atomic.Uint64
-	proxied    atomic.Int64
-	retries    atomic.Int64
-	unroutable atomic.Int64
+	rr atomic.Uint64
+	// reg is the gateway's metric registry, served at GET /metrics.
+	// Every counter the status report exposes is a view over it.
+	reg        *metrics.Registry
+	proxied    *metrics.Counter
+	retries    *metrics.Counter
+	unroutable *metrics.Counter
+	// reqSec is the per-route-class request latency histogram,
+	// pre-resolved per class.
+	reqSec [numClasses]*metrics.Histogram
 
 	startOnce sync.Once
 	stop      context.CancelFunc
@@ -143,12 +155,52 @@ func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, errors.New("gateway: no backends configured")
 	}
-	g := &Gateway{cfg: cfg, adm: newAdmission(cfg.Limits), done: make(chan struct{})}
+	reg := metrics.New()
+	g := &Gateway{cfg: cfg, adm: newAdmission(cfg.Limits, reg), reg: reg, done: make(chan struct{})}
+	g.proxied = reg.Counter("sage_gateway_proxied_total",
+		"Requests successfully proxied to a backend.")
+	g.retries = reg.Counter("sage_gateway_retries_total",
+		"Failed attempts that triggered (or exhausted) failover.")
+	g.unroutable = reg.Counter("sage_gateway_unroutable_total",
+		"Requests no backend could serve.")
+	for c := Class(0); c < numClasses; c++ {
+		g.reqSec[c] = reg.Histogram("sage_gateway_request_seconds",
+			"Gateway request latency by route class (all terminal outcomes).",
+			metrics.LatencyBuckets(), metrics.Label{Name: "class", Value: c.String()})
+	}
 	for _, u := range cfg.Backends {
-		g.backends = append(g.backends, &backend{url: u, breaker: NewBreaker(cfg.Breaker)})
+		b := &backend{url: u, breaker: NewBreaker(cfg.Breaker)}
+		lbl := metrics.Label{Name: "backend", Value: u}
+		b.requests = reg.Counter("sage_gateway_backend_requests_total",
+			"Attempts forwarded to the backend.", lbl)
+		b.failures = reg.Counter("sage_gateway_backend_failures_total",
+			"Forwarded attempts that failed (transport error or 5xx).", lbl)
+		for _, to := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen} {
+			b.transitions[to] = reg.Counter("sage_gateway_breaker_transitions_total",
+				"Breaker state changes, by backend and destination state.",
+				lbl, metrics.Label{Name: "to", Value: to.String()})
+		}
+		b.breaker.OnTransition(func(from, to BreakerState) {
+			b.transitions[to].Inc()
+			cfg.Logf("gateway: event=breaker backend=%s from=%s to=%s", u, from, to)
+		})
+		reg.GaugeFunc("sage_gateway_breaker_state",
+			"Breaker position: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(b.breaker.State()) }, lbl)
+		reg.GaugeFunc("sage_gateway_backend_applied_versions",
+			"Backend's total applied-version watermark from the last probe.",
+			func() float64 { return float64(b.applied.Load()) }, lbl)
+		reg.GaugeFunc("sage_gateway_backend_inflight_requests",
+			"Requests this gateway currently has in flight to the backend.",
+			func() float64 { return float64(b.inflight.Load()) }, lbl)
+		g.backends = append(g.backends, b)
 	}
 	return g, nil
 }
+
+// Metrics exposes the gateway's registry (tests scrape it without
+// going through HTTP).
+func (g *Gateway) Metrics() *metrics.Registry { return g.reg }
 
 // Start runs one synchronous health-probe round (so routing decisions
 // are informed from the first request) and then begins the periodic
@@ -216,9 +268,9 @@ func (g *Gateway) probeAll(ctx context.Context) {
 		if lagging != b.draining.Load() {
 			b.draining.Store(lagging)
 			if lagging {
-				g.cfg.Logf("gateway: draining %s (applied %d, fleet at %d)", b.url, b.applied.Load(), fleetMax)
+				g.cfg.Logf("gateway: event=replica_drain backend=%s applied=%d fleet=%d", b.url, b.applied.Load(), fleetMax)
 			} else {
-				g.cfg.Logf("gateway: %s caught up (applied %d), back in rotation", b.url, b.applied.Load())
+				g.cfg.Logf("gateway: event=replica_undrain backend=%s applied=%d", b.url, b.applied.Load())
 			}
 		}
 	}
@@ -253,7 +305,7 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 	}
 	b.applied.Store(total)
 	if b.down.Swap(false) {
-		g.cfg.Logf("gateway: %s is reachable again", b.url)
+		g.cfg.Logf("gateway: event=replica_up backend=%s", b.url)
 	}
 	b.probed.Store(true)
 }
@@ -261,7 +313,7 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 func (g *Gateway) markDown(b *backend, err error) {
 	b.probed.Store(true)
 	if !b.down.Swap(true) {
-		g.cfg.Logf("gateway: %s is down: %v", b.url, err)
+		g.cfg.Logf("gateway: event=replica_down backend=%s err=%v", b.url, err)
 	}
 	b.mu.Lock()
 	b.lastErr = err.Error()
@@ -322,6 +374,12 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/gateway/status":
 		writeJSON(w, http.StatusOK, g.Status())
 		return
+	case "/metrics":
+		// Served locally: the gateway's own registry, not a proxied
+		// backend scrape.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = g.reg.TextExpose(w)
+		return
 	case "/push":
 		// Mutations go publisher → replica directly; a load-balanced
 		// push would desynchronize the fleet.
@@ -332,6 +390,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	class := Classify(r)
+	defer g.reqSec[class].ObserveSince(time.Now())
 	release, ok := g.adm.admit(class)
 	if !ok {
 		// Shed fast: an immediate, honest "try later" beats a queued
@@ -371,7 +430,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			b.breaker.Record(false)
 			b.noteError(err)
 			lastErr = fmt.Errorf("%s: %w", b.url, err)
-			g.retries.Add(1)
+			g.retries.Inc()
 			continue
 		}
 		if res.status >= http.StatusInternalServerError {
@@ -379,7 +438,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			b.noteError(fmt.Errorf("HTTP %d", res.status))
 			if attempt == 0 {
 				lastErr = fmt.Errorf("%s: HTTP %d", b.url, res.status)
-				g.retries.Add(1)
+				g.retries.Inc()
 				continue
 			}
 			// Both attempts 5xx'd: relay the last reply rather than
@@ -391,10 +450,10 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", fmt.Sprint(len(res.body)))
 		w.WriteHeader(res.status)
 		_, _ = w.Write(res.body)
-		g.proxied.Add(1)
+		g.proxied.Inc()
 		return
 	}
-	g.unroutable.Add(1)
+	g.unroutable.Inc()
 	msg := "no healthy replica available"
 	if lastErr != nil {
 		msg += ": " + lastErr.Error()
@@ -420,7 +479,7 @@ func (g *Gateway) forward(r *http.Request, b *backend, body []byte) (proxyResult
 	defer cancel()
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
-	b.requests.Add(1)
+	b.requests.Inc()
 
 	req, err := http.NewRequestWithContext(ctx, r.Method, b.url+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
@@ -499,12 +558,14 @@ type Status struct {
 	Shed map[string]int64 `json:"shed"`
 }
 
-// Status snapshots the gateway's state.
+// Status snapshots the gateway's state. Every counter here is a view
+// over the metric registry — /gateway/status and /metrics can never
+// disagree because there is only one set of counters.
 func (g *Gateway) Status() Status {
 	st := Status{
-		Proxied:    g.proxied.Load(),
-		Retries:    g.retries.Load(),
-		Unroutable: g.unroutable.Load(),
+		Proxied:    int64(g.proxied.Value()),
+		Retries:    int64(g.retries.Value()),
+		Unroutable: int64(g.unroutable.Value()),
 		Shed:       g.adm.shedCounts(),
 	}
 	for _, b := range g.backends {
@@ -521,8 +582,8 @@ func (g *Gateway) Status() Status {
 			Breaker:         b.breaker.State().String(),
 			Inflight:        b.inflight.Load(),
 			AppliedVersions: b.applied.Load(),
-			Requests:        b.requests.Load(),
-			Failures:        b.failures.Load(),
+			Requests:        int64(b.requests.Value()),
+			Failures:        int64(b.failures.Value()),
 			LastError:       b.lastError(),
 		})
 	}

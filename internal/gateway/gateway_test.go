@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faulty"
+	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/replica"
 	"repro/internal/store"
@@ -232,7 +233,7 @@ func TestBreakerStateMachine(t *testing.T) {
 // is refused once the gateway is ¾ full even though its own class has
 // room, while reads keep being admitted until their own bound.
 func TestAdmissionShedOrdering(t *testing.T) {
-	a := newAdmission(Limits{Read: 6, Predict: 2, Batch: 2}) // global 10, soft 7
+	a := newAdmission(Limits{Read: 6, Predict: 2, Batch: 2}, metrics.New()) // global 10, soft 7
 	var releases []func()
 	acquire := func(c Class, wantOK bool) {
 		t.Helper()

@@ -50,8 +50,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
@@ -108,9 +109,22 @@ type Server struct {
 	// authToken, when non-empty, gates POST /push behind
 	// "Authorization: Bearer <token>".
 	authToken string
-	// inflight counts serving-API requests currently in progress,
-	// reported by GET /replica/status.
-	inflight atomic.Int64
+	// reg is the replica's metric registry, served at GET /metrics.
+	// GET /replica/status reads the same handles — the registry is the
+	// single source of truth, there is no parallel bookkeeping.
+	reg *metrics.Registry
+	// inflight counts serving-API requests currently in progress
+	// (push, status, and metrics traffic excluded).
+	inflight *metrics.Gauge
+	// Push outcome counters, pre-resolved per outcome so the push path
+	// does no registry lookups.
+	pushApplied      *metrics.Counter
+	pushDuplicate    *metrics.Counter
+	pushGap          *metrics.Counter
+	pushRejected     *metrics.Counter
+	pushUnauthorized *metrics.Counter
+	pushBadBody      *metrics.Counter
+	pushSec          *metrics.Histogram
 }
 
 // ServerOption configures a replica server.
@@ -128,23 +142,56 @@ func WithAuthToken(tok string) ServerOption {
 // publisher pushes bundles into it.
 func NewServer(opts ...ServerOption) *Server {
 	st := store.New()
-	s := &Server{store: st, srv: store.NewServer(st)}
+	reg := metrics.New()
+	s := &Server{store: st, srv: store.NewServer(st), reg: reg}
+	s.srv.Instrument(reg)
+	s.inflight = reg.Gauge("sage_replica_inflight_requests",
+		"Serving-API requests currently in progress.")
+	outcome := func(o string) *metrics.Counter {
+		return reg.Counter("sage_replica_pushes_total",
+			"Push deliveries by outcome.", metrics.Label{Name: "outcome", Value: o})
+	}
+	s.pushApplied = outcome("applied")
+	s.pushDuplicate = outcome("duplicate")
+	s.pushGap = outcome("gap")
+	s.pushRejected = outcome("rejected")
+	s.pushUnauthorized = outcome("unauthorized")
+	s.pushBadBody = outcome("bad_body")
+	s.pushSec = reg.Histogram("sage_replica_push_seconds",
+		"Latency of one POST /push delivery.", metrics.LatencyBuckets())
+	reg.GaugeFunc("sage_replica_applied_versions_total",
+		"Sum of applied-version watermarks across all model names.",
+		func() float64 {
+			total := 0
+			for _, wm := range st.Watermarks() {
+				total += wm
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("sage_replica_models",
+		"Distinct model names applied.",
+		func() float64 { return float64(len(st.Watermarks())) })
 	for _, o := range opts {
 		o(s)
 	}
 	return s
 }
 
+// Metrics exposes the replica's registry (tests scrape it without
+// going through HTTP).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
 // Store exposes the replica's local store (tests and diagnostics; the
 // serving path never hands it out).
 func (s *Server) Store() *store.Store { return s.store }
 
 // Handler returns the replica's HTTP handler: the full single-node
-// serving API plus POST /push and GET /replica/status.
+// serving API plus POST /push, GET /replica/status, and GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /push", s.handlePush)
 	mux.HandleFunc("GET /replica/status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	serving := s.srv.Handler()
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
@@ -152,6 +199,11 @@ func (s *Server) Handler() http.Handler {
 		serving.ServeHTTP(w, r)
 	}))
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.TextExpose(w)
 }
 
 // authorized checks the shared-secret bearer token in constant time.
@@ -165,7 +217,9 @@ func (s *Server) authorized(r *http.Request) bool {
 }
 
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	defer s.pushSec.ObserveSince(time.Now())
 	if !s.authorized(r) {
+		s.pushUnauthorized.Inc()
 		w.Header().Set("WWW-Authenticate", `Bearer realm="sage-replica"`)
 		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "push requires a valid bearer token"})
 		return
@@ -178,6 +232,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		gz, err := gzip.NewReader(body)
 		if err != nil {
+			s.pushBadBody.Inc()
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad gzip body: " + err.Error()})
 			return
 		}
@@ -186,29 +241,39 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	raw, err := io.ReadAll(body)
 	if err != nil {
+		s.pushBadBody.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading bundle: " + err.Error()})
 		return
 	}
 	if int64(len(raw)) > maxPushBodyBytes {
+		s.pushBadBody.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bundle exceeds size limit after decompression"})
 		return
 	}
 	b, err := store.DecodeBundle(raw)
 	if err != nil {
+		s.pushBadBody.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	applied, err := s.store.Apply(*b)
 	if err != nil {
 		if gap, ok := err.(*store.VersionGapError); ok {
+			s.pushGap.Inc()
 			writeJSON(w, http.StatusConflict, gapResponse{
 				Error: gap.Error(), Name: gap.Name, Watermark: gap.Watermark,
 			})
 			return
 		}
 		// Digest mismatch (divergent release) or unversioned bundle.
+		s.pushRejected.Inc()
 		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 		return
+	}
+	if applied {
+		s.pushApplied.Inc()
+	} else {
+		s.pushDuplicate.Inc()
 	}
 	writeJSON(w, http.StatusOK, PushStatus{
 		Name: b.Name, Version: b.Version,
@@ -223,7 +288,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Watermarks: wms,
 		Generation: s.store.Generation(),
 		Models:     len(wms),
-		Inflight:   s.inflight.Load(),
+		Inflight:   s.inflight.Value(),
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/rng"
 	"repro/internal/safety"
@@ -38,6 +39,10 @@ const (
 func TestPreEncodedHitAllocs(t *testing.T) {
 	s := New()
 	srv := NewServer(s)
+	// Budgets are pinned with instrumentation live: the metrics hot
+	// paths are pre-resolved atomics, so an instrumented hit must still
+	// fit the same budget as an uninstrumented one.
+	srv.Instrument(metrics.New())
 
 	builds := 0
 	build := func() any {
@@ -75,7 +80,9 @@ func TestPredictBatchWarmAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Publish(Bundle{Name: "bench", Model: spec})
-	h := NewServer(s).Handler()
+	srv := NewServer(s)
+	srv.Instrument(metrics.New()) // budgets hold with instrumentation live
+	h := srv.Handler()
 
 	r := rng.New(11)
 	rows := make([][]float64, 256)

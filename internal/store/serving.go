@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/data"
+	"repro/internal/metrics"
 	"repro/internal/ml"
 )
 
@@ -51,6 +53,45 @@ type Server struct {
 	mu    sync.Mutex
 	cache map[modelKey]*cachedModel
 	enc   encodedCache
+	// met carries the optional serving-path instrumentation. The zero
+	// value (all-nil handles) is fully functional: every metric method
+	// is nil-receiver safe, so an uninstrumented server pays only nil
+	// checks. Set once via Instrument before serving starts.
+	met serverMetrics
+}
+
+// serverMetrics are the serving-path handles, pre-resolved at
+// Instrument time so the hot paths never do registry lookups.
+type serverMetrics struct {
+	encHits    *metrics.Counter
+	encMisses  *metrics.Counter
+	predictSec *metrics.Histogram
+	batchSec   *metrics.Histogram
+	batchRows  *metrics.Histogram
+}
+
+// Instrument registers the server's serving metrics in reg and
+// resolves the hot-path handles. Call once, before the handler starts
+// serving; the handles are written without synchronization.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	s.met = serverMetrics{
+		encHits: reg.Counter("sage_store_encode_cache_hits_total",
+			"Immutable-read responses served from the encode cache."),
+		encMisses: reg.Counter("sage_store_encode_cache_misses_total",
+			"Immutable-read responses that had to be built and encoded."),
+		predictSec: reg.Histogram("sage_store_predict_seconds",
+			"Latency of POST /predict.", metrics.LatencyBuckets()),
+		batchSec: reg.Histogram("sage_store_predict_batch_seconds",
+			"Latency of POST /predict/batch.", metrics.LatencyBuckets()),
+		batchRows: reg.Histogram("sage_store_predict_batch_rows",
+			"Rows per /predict/batch request.", metrics.SizeBuckets()),
+	}
+	reg.GaugeFunc("sage_store_models",
+		"Models currently published in the store.",
+		func() float64 { return float64(len(s.store.List())) })
+	reg.GaugeFunc("sage_store_generation",
+		"Store publish generation (bumps on every publish).",
+		func() float64 { return float64(s.store.Generation()) })
 }
 
 // encodedCache holds pre-encoded JSON response bodies for the immutable
@@ -78,9 +119,11 @@ func (s *Server) preEncoded(key string, build func() any) ([]byte, error) {
 	}
 	if raw, ok := s.enc.entries[key]; ok {
 		s.enc.mu.Unlock()
+		s.met.encHits.Inc()
 		return raw, nil
 	}
 	s.enc.mu.Unlock()
+	s.met.encMisses.Inc()
 
 	// Build and encode outside the lock; a concurrent publish is
 	// harmless (the entry is only stored while the generation still
@@ -288,6 +331,7 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	defer s.met.predictSec.ObserveSince(time.Now())
 	q := r.URL.Query()
 	bundle, ok := s.resolve(q.Get("model"), q.Get("version"), w)
 	if !ok {
@@ -433,6 +477,7 @@ type batchResponse struct {
 // batch — they are reported positionally so the caller can join
 // predictions back to its inputs by index.
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.met.batchSec.ObserveSince(time.Now())
 	q := r.URL.Query()
 	bundle, ok := s.resolve(q.Get("model"), q.Get("version"), w)
 	if !ok {
@@ -457,6 +502,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch: rows must contain at least one feature vector")
 		return
 	}
+	s.met.batchRows.Observe(float64(len(rows)))
 	model, err := s.model(bundle)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())

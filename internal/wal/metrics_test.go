@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestLogInstrumentation opens an instrumented log, appends through
+// it, and checks the exposition: parseable, append/sync counts match,
+// and poisoning flips the gauge and emits the structured transition
+// log.
+func TestLogInstrumentation(t *testing.T) {
+	reg := metrics.New()
+	var logged []string
+	l, _, err := Open(filepath.Join(t.TempDir(), "m.wal"), Options{
+		Metrics: reg,
+		Logf:    func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append(1, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scrape := func() metrics.Families {
+		var b strings.Builder
+		if err := reg.TextExpose(&b); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := metrics.Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+		}
+		return fams
+	}
+
+	fams := scrape()
+	lbl := map[string]string{"log": "m.wal"}
+	if v, ok := fams.Value("sage_wal_append_seconds_count", lbl); !ok || v != 3 {
+		t.Errorf("append count = %v (found %v), want 3", v, ok)
+	}
+	if v, ok := fams.Value("sage_wal_poisoned", lbl); !ok || v != 0 {
+		t.Errorf("poisoned = %v (found %v), want 0", v, ok)
+	}
+	if v, ok := fams.Value("sage_wal_records", lbl); !ok || v != 3 {
+		t.Errorf("records gauge = %v (found %v), want 3", v, ok)
+	}
+
+	// Force a write failure: closing the file under the log makes the
+	// next append fail, which must poison the log, flip the gauge, and
+	// emit the structured event.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+	if err := l.Append(1, []byte("doomed")); err == nil {
+		t.Fatal("append to a closed file unexpectedly succeeded")
+	}
+	if v, ok := scrape().Value("sage_wal_poisoned", lbl); !ok || v != 1 {
+		t.Errorf("poisoned after failure = %v (found %v), want 1", v, ok)
+	}
+	found := false
+	for _, line := range logged {
+		if strings.Contains(line, "event=log_poisoned") && strings.Contains(line, "log=m.wal") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no structured poison log emitted; got %q", logged)
+	}
+}

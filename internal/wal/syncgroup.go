@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // SyncGroup coalesces the durability flushes of several logs that live
@@ -33,6 +36,20 @@ type SyncGroup struct {
 	// group-commit batch chain — see commitBatch).
 	last *syncCohort
 	err  error // sticky: first flush failure, or closed
+	// Optional instrumentation, set once by Instrument before the group
+	// is used: the syncfs stall histogram and the cohort-size histogram
+	// (the cross-log flush amortization factor).
+	syncSec    *metrics.Histogram
+	cohortSize *metrics.Histogram
+}
+
+// Instrument registers the group's flush metrics in reg. Call before
+// the first Sync; an uninstrumented group pays one nil check per flush.
+func (g *SyncGroup) Instrument(reg *metrics.Registry) {
+	g.syncSec = reg.Histogram("sage_wal_syncfs_seconds",
+		"Latency of one filesystem-wide flush (syncfs).", metrics.LatencyBuckets())
+	g.cohortSize = reg.Histogram("sage_wal_syncfs_cohort_size",
+		"Member syncs amortized by one filesystem-wide flush.", metrics.SizeBuckets())
 }
 
 // syncCohort is one group flush in flight: members' writes all
@@ -114,8 +131,17 @@ func (g *SyncGroup) Sync() error {
 		if g.cur == c {
 			g.cur = nil // seal: later callers start the next cohort
 		}
+		members := c.n // stable after seal: no caller can join a sealed cohort
 		g.mu.Unlock()
+		var start time.Time
+		if g.syncSec != nil {
+			start = time.Now()
+		}
 		c.err = syncfs(g.dir)
+		if g.syncSec != nil {
+			g.syncSec.Observe(time.Since(start).Seconds())
+			g.cohortSize.Observe(float64(members))
+		}
 		if c.err != nil {
 			g.mu.Lock()
 			g.err = c.err

@@ -82,6 +82,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // headerSize is the fixed frame prefix: length (4) + type (1) + crc (4).
@@ -123,6 +126,15 @@ type Options struct {
 	// amortize one flush instead of serializing one journal commit
 	// each. Ignored when NoSync is set. See NewSyncGroup.
 	SyncGroup *SyncGroup
+	// Metrics, when non-nil, registers per-log instrumentation in the
+	// registry (append/sync latency, commit batch depth, a poisoned
+	// flag, size and record gauges), every series labeled
+	// log=<basename>. An uninstrumented log pays one nil check per
+	// append.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives one-line structured state-transition
+	// logs — currently the log-poisoning event.
+	Logf func(format string, args ...any)
 }
 
 // Stats reports what Open found.
@@ -152,6 +164,11 @@ type Log struct {
 	// docs): the torn frame makes every later append unreachable to
 	// recovery, so acknowledging one would break journal-before-ack.
 	failed error
+	// ins is the optional per-log instrumentation (nil when the log was
+	// opened without Options.Metrics); logf is the optional structured
+	// transition logger.
+	ins  *instruments
+	logf func(format string, args ...any)
 
 	// Group-commit state. commitMu serializes seal→write→sync so
 	// batches hit the file in staging order; batchMu guards only the
@@ -178,6 +195,15 @@ func (l *Log) GroupCommitStats() (batches, frames int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.commitBatches, l.commitFrames
+}
+
+// instruments is the optional per-log metric set. The handles are
+// resolved once at Open so the append path does no lookups.
+type instruments struct {
+	appendSec   *metrics.Histogram
+	syncSec     *metrics.Histogram
+	batchFrames *metrics.Histogram
+	poisoned    *metrics.Gauge
 }
 
 // commitBatch accumulates staged frames awaiting one shared commit.
@@ -249,6 +275,27 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	l.logf = opts.Logf
+	if opts.Metrics != nil {
+		base := filepath.Base(path)
+		lbl := metrics.Label{Name: "log", Value: base}
+		l.ins = &instruments{
+			appendSec: opts.Metrics.Histogram("sage_wal_append_seconds",
+				"Latency of one durable append (write plus sync).", metrics.LatencyBuckets(), lbl),
+			syncSec: opts.Metrics.Histogram("sage_wal_sync_seconds",
+				"Latency of the sync step alone (fdatasync, or the shared syncfs cohort ride).", metrics.LatencyBuckets(), lbl),
+			batchFrames: opts.Metrics.Histogram("sage_wal_commit_batch_frames",
+				"Frames carried by one committed batch (the fsync amortization factor).", metrics.SizeBuckets(), lbl),
+			poisoned: opts.Metrics.Gauge("sage_wal_poisoned",
+				"1 after a write/sync failure poisoned the log, else 0.", lbl),
+		}
+		opts.Metrics.GaugeFunc("sage_wal_size_bytes",
+			"Current byte length of the log file.",
+			func() float64 { return float64(l.Size()) }, lbl)
+		opts.Metrics.GaugeFunc("sage_wal_records",
+			"Records in the log (recovered plus appended).",
+			func() float64 { return float64(l.Records()) }, lbl)
 	}
 	return l, records, nil
 }
@@ -583,11 +630,19 @@ func (l *Log) writeLocked(frames []byte, n int) error {
 	if l.f == nil {
 		return fmt.Errorf("wal: append to closed log %s", l.path)
 	}
+	var start time.Time
+	if l.ins != nil {
+		start = time.Now()
+	}
 	if _, err := l.f.Write(frames); err != nil {
-		l.failed = err
+		l.poisonLocked(err)
 		return fmt.Errorf("wal: append to %s: %w", l.path, err)
 	}
 	if !l.noSync {
+		var syncStart time.Time
+		if l.ins != nil {
+			syncStart = time.Now()
+		}
 		var err error
 		if l.group != nil {
 			err = l.group.Sync()
@@ -595,13 +650,33 @@ func (l *Log) writeLocked(frames []byte, n int) error {
 			err = l.f.Sync()
 		}
 		if err != nil {
-			l.failed = err
+			l.poisonLocked(err)
 			return fmt.Errorf("wal: sync %s: %w", l.path, err)
+		}
+		if l.ins != nil {
+			l.ins.syncSec.Observe(time.Since(syncStart).Seconds())
 		}
 	}
 	l.size += int64(len(frames))
 	l.count += n
+	if l.ins != nil {
+		l.ins.appendSec.Observe(time.Since(start).Seconds())
+		l.ins.batchFrames.Observe(float64(n))
+	}
 	return nil
+}
+
+// poisonLocked records the first fatal write/sync error, flips the
+// poisoned gauge, and emits the structured transition log. Caller
+// holds mu.
+func (l *Log) poisonLocked(err error) {
+	l.failed = err
+	if l.ins != nil {
+		l.ins.poisoned.Set(1)
+	}
+	if l.logf != nil {
+		l.logf("wal: event=log_poisoned log=%s err=%v", filepath.Base(l.path), err)
+	}
 }
 
 // appendFrame appends one framed record to dst.
