@@ -14,6 +14,7 @@
 //	sagectl daemon [-wal ./sage-wal] [-addr :8080] [-tick 1s] [-ledger-shards N] [-retention N] [-push ...] [-push-token T]
 //	sagectl wal [-wal ./sage-wal] [-v]
 //	sagectl gateway [-addr :8090] [-backends http://r1:8081,http://r2:8081] [-from http://daemon:8080] [-attempt-timeout 10s]
+//	sagectl trace -from http://host:port [-id <32-hex trace id>]
 //
 // In serve mode, accepted pipelines are published as bundles — model,
 // the DP per-hour speed table (Listing 1's aggregate feature), and
@@ -67,6 +68,19 @@
 // then the store log — with record counts, byte sizes, and torn-tail
 // status; -v additionally prints each record's offset, length, type,
 // and CRC verdict. It never writes.
+//
+// Every server mode additionally takes -debug, which turns on the
+// observability surface (internal/trace): requests get W3C traceparent
+// spans with tail-sampled capture of slow/error/failover traces, GET
+// /debug/trace exports them (plus latency-histogram exemplars) as
+// JSON, and the net/http/pprof endpoints come up under /debug/pprof/.
+// The trace subcommand pretty-prints a -debug server's export as
+// indented trace trees. A CPU profile of a live server is one line:
+//
+//	go tool pprof "http://localhost:8080/debug/pprof/profile?seconds=10"
+//
+// Without -debug none of this is reachable and the serving fast paths
+// are byte-identical to the untraced build (pinned by alloc tests).
 package main
 
 import (
@@ -77,6 +91,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -99,6 +114,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/internal/taxi"
+	"repro/internal/trace"
 	"repro/internal/validation"
 	"repro/internal/wal"
 )
@@ -130,6 +146,12 @@ type options struct {
 	epsCap       float64
 	noSync       bool
 	drain        time.Duration
+	// debug enables the observability surface on any server mode:
+	// request tracing (GET /debug/trace) and the net/http/pprof
+	// endpoints (GET /debug/pprof/...).
+	debug bool
+	// trace-only.
+	traceID string
 	// wal-only.
 	walVerbose bool
 	// gateway-only.
@@ -147,7 +169,7 @@ func main() {
 	mode := "ledger"
 	if len(args) > 0 {
 		switch args[0] {
-		case "ledger", "serve", "replica", "daemon", "gateway", "wal":
+		case "ledger", "serve", "replica", "daemon", "gateway", "wal", "trace":
 			mode = args[0]
 			args = args[1:]
 		}
@@ -163,14 +185,17 @@ func main() {
 	switch mode {
 	case "serve":
 		fs.StringVar(&opt.addr, "addr", ":8080", "HTTP listen address for the serving API")
+		fs.BoolVar(&opt.debug, "debug", false, "serve GET /debug/trace and the /debug/pprof endpoints")
 		fs.Float64Var(&opt.featureEps, "feature-eps", 0.2, "ε spent releasing the per-hour speed aggregate (Listing 1)")
 		fs.StringVar(&opt.push, "push", "", "comma-separated replica base URLs to push accepted bundles to")
 		fs.StringVar(&opt.pushToken, "push-token", "", "bearer token sent with every push (replicas started with the same -push-token)")
 	case "replica":
 		fs.StringVar(&opt.addr, "addr", ":8081", "HTTP listen address for this replica")
+		fs.BoolVar(&opt.debug, "debug", false, "serve GET /debug/trace and the /debug/pprof endpoints")
 		fs.StringVar(&opt.pushToken, "push-token", "", "require this bearer token on POST /push (empty = open)")
 	case "daemon":
 		fs.StringVar(&opt.addr, "addr", ":8080", "HTTP listen address (serving API + /daemon/status)")
+		fs.BoolVar(&opt.debug, "debug", false, "serve GET /debug/trace and the /debug/pprof endpoints")
 		fs.StringVar(&opt.walDir, "wal", "./sage-wal", "write-ahead-log directory (all durable state; reuse it to resume)")
 		fs.DurationVar(&opt.tick, "tick", time.Second, "loop period: one stream block + one training attempt per tick")
 		fs.IntVar(&opt.rowsPerBlock, "rows-per-block", 4000, "synthetic stream rate (rides per block)")
@@ -188,11 +213,15 @@ func main() {
 		fs.StringVar(&opt.pushToken, "push-token", "", "bearer token sent with every push")
 		fs.BoolVar(&opt.noSync, "no-sync", false, "disable per-append fsync (tests only: crash durability drops to what the OS flushed)")
 		fs.DurationVar(&opt.drain, "drain", 30*time.Second, "bound on the final replica sync during graceful shutdown (0 = unbounded)")
+	case "trace":
+		fs.StringVar(&opt.from, "from", "", "base URL of a sagectl server running with -debug (required)")
+		fs.StringVar(&opt.traceID, "id", "", "show only the trace with this 32-hex-digit id")
 	case "wal":
 		fs.StringVar(&opt.walDir, "wal", "./sage-wal", "write-ahead-log directory to inspect")
 		fs.BoolVar(&opt.walVerbose, "v", false, "list every record (offset, length, type, CRC) instead of per-log summaries")
 	case "gateway":
 		fs.StringVar(&opt.addr, "addr", ":8090", "HTTP listen address for the gateway")
+		fs.BoolVar(&opt.debug, "debug", false, "serve GET /debug/trace and the /debug/pprof endpoints")
 		fs.StringVar(&opt.backends, "backends", "", "comma-separated replica base URLs to route over")
 		fs.StringVar(&opt.from, "from", "", "daemon base URL to bootstrap replica membership from (GET /daemon/status)")
 		fs.DurationVar(&opt.attemptTimeout, "attempt-timeout", 10*time.Second, "deadline for one proxied attempt (a failed-over request pays at most two)")
@@ -209,6 +238,12 @@ func main() {
 	switch mode {
 	case "wal":
 		if err := runWalInspect(opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case "trace":
+		if err := runTrace(opt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -291,6 +326,7 @@ func runDaemon(opt options, budget privacy.Budget) error {
 		DrainTimeout:  opt.drain,
 		PushEndpoints: splitEndpoints(opt.push),
 		PushToken:     opt.pushToken,
+		Tracer:        newTracer(opt.debug, "daemon"),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -315,7 +351,7 @@ func runDaemon(opt options, budget privacy.Budget) error {
 	}
 	// The e2e harness parses this line to find the bound port.
 	fmt.Printf("daemon: serving on %s (wal %s)\n", lis.Addr(), opt.walDir)
-	srv := newHTTPServer("", d.Handler())
+	srv := newHTTPServer("", withDebug(d.Handler(), opt.debug))
 	go func() { _ = srv.Serve(lis) }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -379,6 +415,104 @@ func runWalInspect(opt options) error {
 	return nil
 }
 
+// runTrace fetches GET /debug/trace from a sagectl server started with
+// -debug and pretty-prints the captured and recent spans as indented
+// trace trees. With -id it asks the server for that one trace.
+func runTrace(opt options) error {
+	if opt.from == "" {
+		return fmt.Errorf("sagectl trace: -from http://host:port is required (a server started with -debug)")
+	}
+	url := strings.TrimSuffix(opt.from, "/") + "/debug/trace"
+	if opt.traceID != "" {
+		url += "?trace=" + opt.traceID
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("sagectl trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sagectl trace: GET %s: HTTP %d (is the server running with -debug?)", url, resp.StatusCode)
+	}
+	var snap trace.Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 32<<20)).Decode(&snap); err != nil {
+		return fmt.Errorf("sagectl trace: decoding %s: %w", url, err)
+	}
+	fmt.Printf("service %s: %d span(s) recorded, %d trace(s) captured\n",
+		snap.Service, snap.SpansRecorded, snap.Captures)
+	printTraceSection("captured", snap.Captured)
+	printTraceSection("recent", snap.Recent)
+	return nil
+}
+
+// printTraceSection groups one exported span list by trace id and
+// prints each trace as a tree: children indented under parents, both in
+// start order. A span whose parent is outside the export (a remote
+// parent, or one already overwritten in the ring) prints as a root.
+func printTraceSection(label string, spans []trace.SpanJSON) {
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Printf("\n%s:\n", label)
+	var order []string
+	byTrace := make(map[string][]trace.SpanJSON)
+	for _, sp := range spans {
+		if _, ok := byTrace[sp.TraceID]; !ok {
+			order = append(order, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for _, id := range order {
+		fmt.Printf("trace %s\n", id)
+		group := byTrace[id]
+		local := make(map[string]bool, len(group))
+		for _, sp := range group {
+			local[sp.SpanID] = true
+		}
+		children := make(map[string][]trace.SpanJSON)
+		var roots []trace.SpanJSON
+		for _, sp := range group {
+			if sp.ParentID != "" && local[sp.ParentID] {
+				children[sp.ParentID] = append(children[sp.ParentID], sp)
+			} else {
+				roots = append(roots, sp)
+			}
+		}
+		sortSpansByStart(roots)
+		for _, r := range roots {
+			printSpanTree(r, children, 1)
+		}
+	}
+}
+
+func sortSpansByStart(spans []trace.SpanJSON) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+}
+
+func printSpanTree(sp trace.SpanJSON, children map[string][]trace.SpanJSON, depth int) {
+	var tail strings.Builder
+	if sp.Status != 0 {
+		fmt.Fprintf(&tail, " status=%d", sp.Status)
+	}
+	if sp.Outcome != "" {
+		fmt.Fprintf(&tail, " outcome=%s", sp.Outcome)
+	}
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(&tail, " %s=%s", a.Key, a.Value)
+	}
+	for _, e := range sp.Events {
+		fmt.Fprintf(&tail, " event:%s+%dus", e.Name, e.OffsetUS)
+	}
+	fmt.Printf("%s%s [%s] %.3fms%s\n",
+		strings.Repeat("  ", depth), sp.Name, sp.Service, float64(sp.DurationUS)/1000, tail.String())
+	kids := children[sp.SpanID]
+	sortSpansByStart(kids)
+	for _, k := range kids {
+		printSpanTree(k, children, depth+1)
+	}
+}
+
 // newHTTPServer wraps a handler in an http.Server hardened against slow
 // or stuck clients: a connection that trickles its headers, never sends
 // its body, or never reads its response is bounded instead of pinning a
@@ -394,6 +528,35 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+}
+
+// newTracer builds a per-tier tracer, or nil when -debug is off. A nil
+// tracer is the compiled-in-but-disabled state: every method is a
+// nil-check no-op and Middleware returns its handler unchanged, so the
+// serving fast paths keep their pinned allocation budgets.
+func newTracer(debug bool, service string) *trace.Tracer {
+	if !debug {
+		return nil
+	}
+	return trace.New(trace.Config{Service: service})
+}
+
+// withDebug mounts the net/http/pprof endpoints in front of a server's
+// handler when -debug is set. Explicit routes (not the blank import)
+// because every sagectl listener runs its own mux, never
+// http.DefaultServeMux.
+func withDebug(h http.Handler, debug bool) http.Handler {
+	if !debug {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // runGateway fronts a replica fleet with the fault-tolerant routing
@@ -426,6 +589,7 @@ func runGateway(opt options) error {
 			FailThreshold: opt.breakerFails,
 			Cooldown:      opt.breakerCooldown,
 		},
+		Tracer: newTracer(opt.debug, "gateway"),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -443,7 +607,7 @@ func runGateway(opt options) error {
 	fmt.Printf("gateway on %s over %d replica(s): %s\n", opt.addr, len(uniq), strings.Join(uniq, ", "))
 	fmt.Printf("  curl %s/gateway/status\n", base)
 	fmt.Printf("  curl %s/models\n", base)
-	return newHTTPServer(opt.addr, g.Handler()).ListenAndServe()
+	return newHTTPServer(opt.addr, withDebug(g.Handler(), opt.debug)).ListenAndServe()
 }
 
 // fetchMembership reads the replica endpoints a daemon is pushing to.
@@ -588,7 +752,10 @@ func runReplica(opt options) error {
 		fmt.Println("  (POST /push requires the shared bearer token)")
 		sopts = append(sopts, replica.WithAuthToken(opt.pushToken))
 	}
-	return newHTTPServer(opt.addr, replica.NewServer(sopts...).Handler()).ListenAndServe()
+	if t := newTracer(opt.debug, "replica"); t != nil {
+		sopts = append(sopts, replica.WithTracer(t))
+	}
+	return newHTTPServer(opt.addr, withDebug(replica.NewServer(sopts...).Handler(), opt.debug)).ListenAndServe()
 }
 
 // runServe publishes accepted pipelines into the model & feature store
@@ -731,11 +898,15 @@ func runServe(opt options, budget privacy.Budget) error {
 	srv := store.NewServer(st)
 	reg := metrics.New()
 	srv.Instrument(reg)
+	tracer := newTracer(opt.debug, "store")
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.TextExpose(w)
 	})
+	if tracer != nil {
+		mux.Handle("GET /debug/trace", tracer.DebugHandler(func() any { return reg.Exemplars() }))
+	}
 	mux.Handle("/", srv.Handler())
-	return newHTTPServer(opt.addr, mux).ListenAndServe()
+	return newHTTPServer(opt.addr, withDebug(tracer.Middleware(mux), opt.debug)).ListenAndServe()
 }

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// scrapeTrace fetches url's /debug/trace, strict-decodes the export
+// against the published trace.Snapshot schema (unknown fields are a
+// contract break, not noise), and archives the raw JSON under the
+// artifact dir so CI uploads it next to the metrics scrapes.
+func scrapeTrace(t *testing.T, url, artifact string) trace.Snapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/debug/trace: HTTP %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("GET %s/debug/trace Content-Type %q, want application/json", url, ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := os.Getenv("SAGE_TRACE_ARTIFACT_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, artifact), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var snap trace.Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("GET %s/debug/trace does not strict-decode as trace.Snapshot: %v\npayload:\n%s", url, err, raw)
+	}
+	return snap
+}
+
+// tickPhases are the four child spans every daemon.tick root records.
+var tickPhases = []string{"daemon.ingest", "daemon.train", "daemon.retention", "daemon.compaction"}
+
+// assertTickTree requires that the snapshot holds at least one complete
+// daemon tick: a daemon.tick root span with all four phase children
+// parented to it (span links, not just name matches).
+func assertTickTree(t *testing.T, snap trace.Snapshot, label string) {
+	t.Helper()
+	spans := append(append([]trace.SpanJSON(nil), snap.Recent...), snap.Captured...)
+	for _, sp := range spans {
+		if sp.Name != "daemon.tick" {
+			continue
+		}
+		if sp.Service != "daemon" {
+			t.Fatalf("%s: daemon.tick span carries service %q, want daemon", label, sp.Service)
+		}
+		have := map[string]bool{}
+		for _, c := range spans {
+			if c.TraceID == sp.TraceID && c.ParentID == sp.SpanID {
+				have[c.Name] = true
+			}
+		}
+		complete := true
+		for _, p := range tickPhases {
+			if !have[p] {
+				complete = false
+			}
+		}
+		if complete {
+			return
+		}
+	}
+	t.Fatalf("%s: no daemon.tick root with all phase children %v; %d span(s) in export",
+		label, tickPhases, len(spans))
+}
+
+// TestDaemonTraceE2E is the tracing acceptance test: run the real
+// sagectl daemon binary with -debug, and require that (1) GET
+// /debug/trace strict-decodes and shows complete tick span trees, (2)
+// the pprof surface is live, (3) a hard kill and relaunch brings the
+// whole debug surface back (rings are per-process; only spans from the
+// new process may appear), and (4) `sagectl trace` renders the export.
+func TestDaemonTraceE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a child binary; skipped in -short")
+	}
+	bin := buildSagectl(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	d1 := startDaemon(t, bin, walDir, "-tick", "30ms", "-debug")
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, err := d1.status(t)
+		if err == nil && st.Ticks >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon made no progress before deadline; output:\n%s", d1.out.dump())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	snap := scrapeTrace(t, "http://"+d1.addr, "daemon-live.trace.json")
+	if snap.Service != "daemon" {
+		t.Fatalf("snapshot service %q, want daemon", snap.Service)
+	}
+	if snap.SpansRecorded == 0 {
+		t.Fatal("snapshot reports zero spans recorded on a ticking daemon")
+	}
+	assertTickTree(t, snap, "live")
+
+	// The WAL tier joins the same tracer: commits show up as wal.commit
+	// roots with append/flush children.
+	walSpan := false
+	for _, sp := range snap.Recent {
+		if sp.Name == "wal.commit" {
+			walSpan = true
+		}
+	}
+	if !walSpan {
+		t.Fatal("no wal.commit span in the recent ring of a daemon that journals every tick")
+	}
+
+	// Continuous profiling rides the same -debug flag.
+	resp, err := http.Get("http://" + d1.addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: HTTP %d", resp.StatusCode)
+	}
+
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = d1.cmd.Process.Wait()
+
+	// Relaunch over the same WAL: trace rings are in-memory, so the new
+	// process starts empty and must refill from its own ticks.
+	d2 := startDaemon(t, bin, walDir, "-tick", "30ms", "-debug")
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		st, err := d2.status(t)
+		if err == nil && st.Ticks >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relaunched daemon made no progress; output:\n%s", d2.out.dump())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	snap2 := scrapeTrace(t, "http://"+d2.addr, "daemon-recovered.trace.json")
+	assertTickTree(t, snap2, "recovered")
+
+	// The CLI view over the same export: `sagectl trace` must render the
+	// tick tree (root and an indented phase child).
+	out, err := exec.Command(bin, "trace", "-from", "http://"+d2.addr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sagectl trace: %v\n%s", err, out)
+	}
+	for _, want := range []string{"service daemon:", "daemon.tick", "  daemon.ingest"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("sagectl trace output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -70,6 +70,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/internal/taxi"
+	"repro/internal/trace"
 	"repro/internal/validation"
 )
 
@@ -151,6 +152,12 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
+	// Tracer records loop traces: every tick is a root span with one
+	// child span per phase (ingest/train/retention/compaction), the WAL
+	// hangs its cohort spans under the same tracer, and the HTTP surface
+	// continues incoming traceparents and serves GET /debug/trace. Nil
+	// disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -278,6 +285,7 @@ func New(cfg Config) (*Daemon, durable.Stats, error) {
 		LedgerShards: cfg.LedgerShards,
 		Metrics:      d.reg,
 		Logf:         cfg.Logf,
+		Tracer:       cfg.Tracer,
 		// DP-informed retention (§3.2): a retired block's raw data is
 		// deleted. Registered before replay so recovery reproduces
 		// retirement stickiness; during replay the database is still
@@ -514,16 +522,34 @@ func (d *Daemon) step() error {
 	d.nextBlock++
 	d.mu.Unlock()
 
+	// One tick is one trace: a root span with a child span per phase.
+	// The exemplar trace id is resolved up front because the deferred
+	// End scrubs and pools the span before the last phase observes.
+	root := d.cfg.Tracer.StartRoot("daemon.tick")
+	root.SetAttr("tick", strconv.Itoa(tick))
+	rootID := root.TraceIDString()
+	// fail ends the in-flight phase span and marks the trace; the
+	// deferred root.End then tail-captures it (outcome != "").
+	fail := func(sp *trace.Span, err error) error {
+		sp.SetOutcome("error")
+		sp.End()
+		root.SetOutcome("error")
+		return err
+	}
+	defer root.End()
+
 	// 1. Ingest this tick's block and account its feature release.
 	phaseStart := time.Now()
+	sp := root.StartChild("daemon.ingest")
 	speeds := d.ingestBlock(block)
 	d.lastSpeeds = speeds
 	if d.plat.AC.RegisterBlock(block) && d.cfg.FeatureEps > 0 {
 		if err := d.plat.AC.Request([]data.BlockID{block}, privacy.Budget{Epsilon: d.cfg.FeatureEps}); err != nil {
-			return fmt.Errorf("daemon: charging feature release for block %d: %w", block, err)
+			return fail(sp, fmt.Errorf("daemon: charging feature release for block %d: %w", block, err))
 		}
 	}
-	d.phaseSec[phaseIngest].ObserveSince(phaseStart)
+	sp.End()
+	d.phaseSec[phaseIngest].ObserveSinceExemplar(phaseStart, rootID)
 
 	// 2. One privacy-adaptive training run, fair round-robin. A naive
 	// tick%N rotation starves pipelines when the budget-refill cadence
@@ -533,12 +559,13 @@ func (d *Daemon) step() error {
 	// that are merely unaffordable this tick are skipped at no budget
 	// cost and keep their place in line.
 	phaseStart = time.Now()
+	sp = root.StartChild("daemon.train")
 	trained := false
 	for k := 0; k < d.cfg.Pipelines; k++ {
 		idx := (d.nextPipe + k) % d.cfg.Pipelines
 		attempted, err := d.trainPipeline(tick, idx)
 		if err != nil {
-			return err
+			return fail(sp, err)
 		}
 		if attempted {
 			d.nextPipe = (idx + 1) % d.cfg.Pipelines
@@ -547,14 +574,17 @@ func (d *Daemon) step() error {
 		}
 	}
 	if !trained {
+		sp.AddEvent("blocked")
 		d.mu.Lock()
 		d.blocked++
 		d.mu.Unlock()
 	}
-	d.phaseSec[phaseTrain].ObserveSince(phaseStart)
+	sp.End()
+	d.phaseSec[phaseTrain].ObserveSinceExemplar(phaseStart, rootID)
 
 	// 3. Retention: retire blocks older than the window.
 	phaseStart = time.Now()
+	sp = root.StartChild("daemon.retention")
 	if d.cfg.Retention > 0 {
 		horizon := block - data.BlockID(d.cfg.Retention) + 1
 		for _, id := range d.plat.AC.Blocks() {
@@ -565,21 +595,23 @@ func (d *Daemon) step() error {
 				continue
 			}
 			if err := d.plat.AC.Retire(id); err != nil {
-				return fmt.Errorf("daemon: retiring block %d: %w", id, err)
+				return fail(sp, fmt.Errorf("daemon: retiring block %d: %w", id, err))
 			}
 			d.cfg.Logf("daemon: tick %d: retired block %d (retention window %d)", tick, id, d.cfg.Retention)
 		}
 	}
-	d.phaseSec[phaseRetention].ObserveSince(phaseStart)
+	sp.End()
+	d.phaseSec[phaseRetention].ObserveSinceExemplar(phaseStart, rootID)
 
 	// 4. Periodic WAL compaction: the fixed tick cadence bounds staleness,
 	// the byte threshold bounds recovery time for write-heavy logs — an
 	// oversized ledger segment is compacted the tick it crosses the
 	// threshold, not when the cadence next comes around.
 	phaseStart = time.Now()
+	sp = root.StartChild("daemon.compaction")
 	if (tick+1)%d.cfg.CompactEvery == 0 {
 		if err := d.plat.Compact(); err != nil {
-			return fmt.Errorf("daemon: compaction: %w", err)
+			return fail(sp, fmt.Errorf("daemon: compaction: %w", err))
 		}
 		d.mu.Lock()
 		d.compactions++
@@ -589,7 +621,7 @@ func (d *Daemon) step() error {
 	} else if d.cfg.CompactBytes > 0 && d.plat.MaxLogSize() > d.cfg.CompactBytes {
 		n, err := d.plat.CompactIfLarger(d.cfg.CompactBytes)
 		if err != nil {
-			return fmt.Errorf("daemon: size-triggered compaction: %w", err)
+			return fail(sp, fmt.Errorf("daemon: size-triggered compaction: %w", err))
 		}
 		if n > 0 {
 			d.mu.Lock()
@@ -599,7 +631,8 @@ func (d *Daemon) step() error {
 			d.cfg.Logf("daemon: tick %d: compacted %d oversized log(s) (ledger %dB, store %dB)", tick, n, lb, sb)
 		}
 	}
-	d.phaseSec[phaseCompaction].ObserveSince(phaseStart)
+	sp.End()
+	d.phaseSec[phaseCompaction].ObserveSinceExemplar(phaseStart, rootID)
 	return nil
 }
 
@@ -793,8 +826,12 @@ func (d *Daemon) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = d.reg.TextExpose(w)
 	})
+	if d.cfg.Tracer != nil {
+		mux.Handle("GET /debug/trace", d.cfg.Tracer.DebugHandler(func() any { return d.reg.Exemplars() }))
+	}
 	mux.Handle("/", d.srv.Handler())
-	return mux
+	// Middleware on a nil tracer returns mux unchanged.
+	return d.cfg.Tracer.Middleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -102,6 +102,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -159,6 +160,9 @@ type Options struct {
 	// (the post-crash database is empty), but the hook must tolerate
 	// being called for blocks it has already processed.
 	OnRetire func(data.BlockID)
+	// Tracer, when non-nil, records WAL commit cohorts as span trees
+	// (append → seal → flush). See wal.Options.Tracer.
+	Tracer *trace.Tracer
 }
 
 // Platform is the durable platform core: a ledger and a store whose
@@ -229,6 +233,7 @@ func Open(dir string, policy core.Policy, opts Options) (*Platform, Stats, error
 		GroupCommit: !opts.NoSync && !opts.DisableGroupCommit,
 		Metrics:     opts.Metrics,
 		Logf:        opts.Logf,
+		Tracer:      opts.Tracer,
 	}
 	// With several segments on one filesystem, per-segment fsyncs
 	// serialize on the filesystem journal; a shared sync group turns a

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/replica"
+	"repro/internal/trace"
 )
 
 const (
@@ -55,6 +56,11 @@ type Config struct {
 	Limits Limits
 	// Logf receives state-transition lines (default: discard).
 	Logf func(format string, args ...any)
+	// Tracer records request traces: a root span per request plus one
+	// child span per routing attempt, so a failover shows up as two
+	// attempt spans under one trace. Nil disables tracing — the serving
+	// path is then byte-for-byte the untraced one.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -182,7 +188,7 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		b.breaker.OnTransition(func(from, to BreakerState) {
 			b.transitions[to].Inc()
-			cfg.Logf("gateway: event=breaker backend=%s from=%s to=%s", u, from, to)
+			trace.Eventf(cfg.Logf, "gateway: event=breaker backend=%s from=%s to=%s", u, from, to)
 		})
 		reg.GaugeFunc("sage_gateway_breaker_state",
 			"Breaker position: 0 closed, 1 open, 2 half-open.",
@@ -268,9 +274,9 @@ func (g *Gateway) probeAll(ctx context.Context) {
 		if lagging != b.draining.Load() {
 			b.draining.Store(lagging)
 			if lagging {
-				g.cfg.Logf("gateway: event=replica_drain backend=%s applied=%d fleet=%d", b.url, b.applied.Load(), fleetMax)
+				trace.Eventf(g.cfg.Logf, "gateway: event=replica_drain backend=%s applied=%d fleet=%d", b.url, b.applied.Load(), fleetMax)
 			} else {
-				g.cfg.Logf("gateway: event=replica_undrain backend=%s applied=%d", b.url, b.applied.Load())
+				trace.Eventf(g.cfg.Logf, "gateway: event=replica_undrain backend=%s applied=%d", b.url, b.applied.Load())
 			}
 		}
 	}
@@ -305,7 +311,7 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 	}
 	b.applied.Store(total)
 	if b.down.Swap(false) {
-		g.cfg.Logf("gateway: event=replica_up backend=%s", b.url)
+		trace.Eventf(g.cfg.Logf, "gateway: event=replica_up backend=%s", b.url)
 	}
 	b.probed.Store(true)
 }
@@ -313,7 +319,7 @@ func (g *Gateway) probe(ctx context.Context, b *backend) {
 func (g *Gateway) markDown(b *backend, err error) {
 	b.probed.Store(true)
 	if !b.down.Swap(true) {
-		g.cfg.Logf("gateway: event=replica_down backend=%s err=%v", b.url, err)
+		trace.Eventf(g.cfg.Logf, "gateway: event=replica_down backend=%s err=%v", b.url, err)
 	}
 	b.mu.Lock()
 	b.lastErr = err.Error()
@@ -387,14 +393,30 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"error": "push is a publisher-to-replica operation; the gateway only routes reads",
 		})
 		return
+	case "/debug/trace":
+		// Served locally when tracing is on; with a nil tracer the path
+		// falls through to the proxy like any other request.
+		if g.cfg.Tracer != nil {
+			g.cfg.Tracer.DebugHandler(func() any { return g.reg.Exemplars() }).ServeHTTP(w, r)
+			return
+		}
 	}
 
 	class := Classify(r)
-	defer g.reqSec[class].ObserveSince(time.Now())
+	root := g.startSpan(r, class)
+	// The exemplar trace id is resolved here, before the deferred End
+	// scrubs and pools the span (defers run LIFO: End fires first).
+	defer g.reqSec[class].ObserveSinceExemplar(time.Now(), root.TraceIDString())
+	defer root.End()
+	if root != nil {
+		r = r.WithContext(trace.ContextWith(r.Context(), root))
+	}
 	release, ok := g.adm.admit(class)
 	if !ok {
 		// Shed fast: an immediate, honest "try later" beats a queued
 		// request that times out after pinning resources.
+		root.SetStatus(http.StatusServiceUnavailable)
+		root.SetOutcome("shed")
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 			"error": "gateway overloaded: " + class.String() + " request shed",
@@ -408,10 +430,12 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		var err error
 		body, err = io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 		if err != nil {
+			root.SetStatus(http.StatusBadRequest)
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
 			return
 		}
 		if len(body) > maxRequestBytes {
+			root.SetStatus(http.StatusRequestEntityTooLarge)
 			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body exceeds gateway limit"})
 			return
 		}
@@ -425,27 +449,46 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		exclude[b] = true
-		res, err := g.forward(r, b, body)
+		att := root.StartChild("gateway.attempt")
+		att.SetAttr("backend", b.url)
+		res, err := g.forward(r, b, body, att)
 		if err != nil {
+			att.SetOutcome("error")
+			att.End()
 			b.breaker.Record(false)
 			b.noteError(err)
 			lastErr = fmt.Errorf("%s: %w", b.url, err)
 			g.retries.Inc()
+			trace.SpanEventf(r.Context(), g.cfg.Logf,
+				"gateway: event=failover backend=%s attempt=%d err=%v", b.url, attempt, err)
 			continue
 		}
+		att.SetStatus(res.status)
 		if res.status >= http.StatusInternalServerError {
+			att.SetOutcome("error")
+			att.End()
 			b.breaker.Record(false)
 			b.noteError(fmt.Errorf("HTTP %d", res.status))
 			if attempt == 0 {
 				lastErr = fmt.Errorf("%s: HTTP %d", b.url, res.status)
 				g.retries.Inc()
+				trace.SpanEventf(r.Context(), g.cfg.Logf,
+					"gateway: event=failover backend=%s attempt=%d err=HTTP_%d", b.url, attempt, res.status)
 				continue
 			}
 			// Both attempts 5xx'd: relay the last reply rather than
 			// masking it.
+			root.SetOutcome("error")
 		} else {
+			att.End()
 			b.breaker.Record(true)
+			if attempt > 0 {
+				// Survived failover: mark the root so the trace is
+				// tail-captured despite the 200.
+				root.SetOutcome("failover")
+			}
 		}
+		root.SetStatus(res.status)
 		copyHeader(w.Header(), res.header)
 		w.Header().Set("Content-Length", fmt.Sprint(len(res.body)))
 		w.WriteHeader(res.status)
@@ -454,12 +497,32 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.unroutable.Inc()
+	root.SetStatus(http.StatusServiceUnavailable)
+	root.SetOutcome("unroutable")
 	msg := "no healthy replica available"
 	if lastErr != nil {
 		msg += ": " + lastErr.Error()
 	}
 	w.Header().Set("Retry-After", "1")
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": msg})
+}
+
+// startSpan opens the request's root span: an incoming traceparent is
+// continued (the gateway joins the caller's trace), otherwise a fresh
+// trace starts. Nil when tracing is disabled.
+func (g *Gateway) startSpan(r *http.Request, class Class) *trace.Span {
+	t := g.cfg.Tracer
+	if t == nil {
+		return nil
+	}
+	var s *trace.Span
+	if traceID, parent, ok := trace.ParseTraceparent(r.Header.Get(trace.Header)); ok {
+		s = t.StartRemote(r.Method+" "+r.URL.Path, traceID, parent)
+	} else {
+		s = t.StartRoot(r.Method + " " + r.URL.Path)
+	}
+	s.SetAttr("class", class.String())
+	return s
 }
 
 // proxyResult is one complete, verified upstream response.
@@ -473,8 +536,10 @@ type proxyResult struct {
 // deadline, buffering and length-verifying the response. An upstream
 // that delivers fewer bytes than it advertised is an error (the partial
 // response never reaches the client), as is one that out-sizes the
-// response cap.
-func (g *Gateway) forward(r *http.Request, b *backend, body []byte) (proxyResult, error) {
+// response cap. att, when non-nil, is stamped as the outgoing
+// traceparent parent — each attempt carries its own span id, so the
+// replica's server span hangs under the attempt that reached it.
+func (g *Gateway) forward(r *http.Request, b *backend, body []byte, att *trace.Span) (proxyResult, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.AttemptTimeout)
 	defer cancel()
 	b.inflight.Add(1)
@@ -487,6 +552,7 @@ func (g *Gateway) forward(r *http.Request, b *backend, body []byte) (proxyResult
 	}
 	copyHeader(req.Header, r.Header)
 	req.Header.Del("Connection")
+	trace.Inject(att, req.Header)
 
 	resp, err := g.cfg.Transport.RoundTrip(req)
 	if err != nil {

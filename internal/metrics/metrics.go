@@ -92,6 +92,18 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // math.Float64bits of the running sum
+	// exemplar is the most recent traced observation (see
+	// ObserveExemplar) — the bridge from an aggregate latency series to
+	// one concrete trace id a debugger can look up.
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one concrete observation to the trace that produced
+// it. Histograms keep the most recent one; GET /debug/trace exposes
+// the table so "p99 spiked" resolves to "look at this trace".
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // Observe records one value.
@@ -117,6 +129,38 @@ func (h *Histogram) Observe(v float64) {
 // call it records handler latency without a closure allocation.
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveExemplar records v and, when traceID is non-empty, replaces
+// the histogram's exemplar with it. An empty traceID (tracing
+// disabled, or no span in context) is exactly Observe — no exemplar
+// write, no allocation — so the untraced hot path keeps its pinned
+// budgets.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplar.Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// ObserveSinceExemplar is ObserveExemplar over elapsed seconds.
+func (h *Histogram) ObserveSinceExemplar(start time.Time, traceID string) {
+	h.ObserveExemplar(time.Since(start).Seconds(), traceID)
+}
+
+// Exemplar returns the most recent traced observation, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	e := h.exemplar.Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
 }
 
 // Count returns the total number of observations.
@@ -350,6 +394,45 @@ func (r *Registry) TextExpose(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// Exemplars returns every histogram series' current exemplar, keyed
+// by metric name (plus the canonical {label} signature for labeled
+// series). Exemplars ride the /debug/trace JSON payload, not the text
+// exposition — the 0.0.4 format has no exemplar syntax and the
+// in-repo parser is strict. Nil-registry safe (nil map).
+func (r *Registry) Exemplars() map[string]Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, fam := range r.families {
+		fams = append(fams, fam)
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]Exemplar)
+	for _, fam := range fams {
+		fam.mu.Lock()
+		ss := append([]*series(nil), fam.series...)
+		fam.mu.Unlock()
+		for _, s := range ss {
+			if s.hist == nil {
+				continue
+			}
+			e, ok := s.hist.Exemplar()
+			if !ok {
+				continue
+			}
+			key := fam.name
+			if s.sig != "" {
+				key = fam.name + "{" + s.sig + "}"
+			}
+			out[key] = e
+		}
+	}
+	return out
 }
 
 // writeHistogram renders one histogram series: cumulative _bucket

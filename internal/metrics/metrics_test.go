@@ -285,3 +285,62 @@ func TestHotPathAllocs(t *testing.T) {
 	})
 	t.Logf("counter+gauge+histogram hot path: %.1f allocs/op (budget 0)", got)
 }
+
+// TestExemplars pins the histogram→trace bridge: the most recent
+// traced observation wins, untraced observations leave the exemplar
+// alone (and allocate nothing), and the registry table keys labeled
+// series by name{signature}.
+func TestExemplars(t *testing.T) {
+	r := New()
+	plain := r.Histogram("plain_seconds", "p", LatencyBuckets())
+	labeled := r.Histogram("req_seconds", "r", LatencyBuckets(), Label{"class", "read"})
+
+	if _, ok := plain.Exemplar(); ok {
+		t.Fatal("fresh histogram has an exemplar")
+	}
+	plain.ObserveExemplar(0.1, "")
+	if _, ok := plain.Exemplar(); ok {
+		t.Fatal("empty trace id stored an exemplar")
+	}
+	if plain.Count() != 1 {
+		t.Fatal("ObserveExemplar with empty trace id must still observe")
+	}
+	plain.ObserveExemplar(0.2, "aaaa")
+	plain.ObserveExemplar(0.3, "bbbb")
+	e, ok := plain.Exemplar()
+	if !ok || e.TraceID != "bbbb" || e.Value != 0.3 {
+		t.Fatalf("exemplar = %+v, %v; want most recent traced observation", e, ok)
+	}
+	labeled.ObserveExemplar(0.4, "cccc")
+
+	table := r.Exemplars()
+	if len(table) != 2 {
+		t.Fatalf("exemplar table %v, want 2 entries", table)
+	}
+	if table["plain_seconds"].TraceID != "bbbb" {
+		t.Fatalf("plain entry %+v", table["plain_seconds"])
+	}
+	if table[`req_seconds{class="read"}`].TraceID != "cccc" {
+		t.Fatalf("labeled entry missing: %v", table)
+	}
+
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x")
+	if _, ok := nilH.Exemplar(); ok {
+		t.Fatal("nil histogram has an exemplar")
+	}
+	var nilR *Registry
+	if nilR.Exemplars() != nil {
+		t.Fatal("nil registry returned a table")
+	}
+}
+
+// TestObserveExemplarUntracedAllocs pins that the untraced exemplar
+// path is exactly Observe: zero allocations.
+func TestObserveExemplarUntracedAllocs(t *testing.T) {
+	r := New()
+	h := r.Histogram("ex_seconds", "e", LatencyBuckets())
+	safety.MaxAllocs(t, 1000, 0, func() {
+		h.ObserveExemplar(0.00042, "")
+	})
+}

@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // maxPushBodyBytes bounds one pushed bundle. Models at the paper's
@@ -125,6 +126,10 @@ type Server struct {
 	pushUnauthorized *metrics.Counter
 	pushBadBody      *metrics.Counter
 	pushSec          *metrics.Histogram
+	// tracer, when non-nil, wraps the whole handler in a server span
+	// (continuing any incoming traceparent — the gateway's attempt span)
+	// and serves GET /debug/trace.
+	tracer *trace.Tracer
 }
 
 // ServerOption configures a replica server.
@@ -136,6 +141,14 @@ type ServerOption func(*Server)
 // API a replica exists to serve stays public.
 func WithAuthToken(tok string) ServerOption {
 	return func(s *Server) { s.authToken = tok }
+}
+
+// WithTracer enables request tracing: every request runs under a
+// server span continuing any incoming traceparent, and the handler
+// serves GET /debug/trace. A nil tracer (the default) leaves the
+// serving path untraced and unchanged.
+func WithTracer(t *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
 }
 
 // NewServer returns an empty replica. It serves nothing until a
@@ -192,13 +205,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /push", s.handlePush)
 	mux.HandleFunc("GET /replica/status", s.handleStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.tracer != nil {
+		mux.Handle("GET /debug/trace", s.tracer.DebugHandler(func() any { return s.reg.Exemplars() }))
+	}
 	serving := s.srv.Handler()
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		serving.ServeHTTP(w, r)
 	}))
-	return mux
+	// Middleware on a nil tracer returns mux unchanged, so the untraced
+	// replica serves the exact handler it always has.
+	return s.tracer.Middleware(mux)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -217,7 +235,7 @@ func (s *Server) authorized(r *http.Request) bool {
 }
 
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
-	defer s.pushSec.ObserveSince(time.Now())
+	defer s.pushSec.ObserveSinceExemplar(time.Now(), trace.CtxTraceID(r.Context()))
 	if !s.authorized(r) {
 		s.pushUnauthorized.Inc()
 		w.Header().Set("WWW-Authenticate", `Bearer realm="sage-replica"`)

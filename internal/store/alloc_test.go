@@ -12,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/safety"
 	"repro/internal/taxi"
+	"repro/internal/trace"
 )
 
 // Allocation budgets for the two serving fast paths whose whole point
@@ -82,7 +83,10 @@ func TestPredictBatchWarmAllocs(t *testing.T) {
 	s.Publish(Bundle{Name: "bench", Model: spec})
 	srv := NewServer(s)
 	srv.Instrument(metrics.New()) // budgets hold with instrumentation live
-	h := srv.Handler()
+	// A disabled (nil) tracer's Middleware returns the handler
+	// unchanged, so the budget also pins that tracing-compiled-in but
+	// switched-off serving costs exactly nothing.
+	h := (*trace.Tracer)(nil).Middleware(srv.Handler())
 
 	r := rng.New(11)
 	rows := make([][]float64, 256)

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/safety"
+)
+
+// TestSpanEndAllocBudget pins the enabled hot path: ending a span is a
+// struct copy into a pre-allocated ring slot plus a pool put — zero
+// allocations, even when the root qualifies for tail capture (capture
+// moves records between fixed rings).
+func TestSpanEndAllocBudget(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour})
+	safety.MaxAllocs(t, 200, 0, func() {
+		s := tr.StartRoot("bench")
+		s.SetStatus(200)
+		s.End()
+	})
+	safety.MaxAllocs(t, 200, 0, func() {
+		s := tr.StartRoot("bench")
+		s.SetStatus(503) // forces capture of the whole trace
+		s.End()
+	})
+}
+
+// TestChildSpanAllocBudget pins the full start/attr/end cycle for a
+// child span under a live root.
+func TestChildSpanAllocBudget(t *testing.T) {
+	tr := New(Config{SlowThreshold: time.Hour})
+	root := tr.StartRoot("root")
+	defer root.End()
+	safety.MaxAllocs(t, 200, 0, func() {
+		c := root.StartChild("attempt")
+		c.SetAttr("backend", "b1")
+		c.End()
+	})
+}
+
+// TestDisabledTracerAllocBudget pins the nil-tracer path at zero: every
+// call site threads through untouched.
+func TestDisabledTracerAllocBudget(t *testing.T) {
+	var tr *Tracer
+	safety.MaxAllocs(t, 200, 0, func() {
+		s := tr.StartRoot("off")
+		c := s.StartChild("child")
+		c.SetAttr("k", "v")
+		c.End()
+		s.SetStatus(200)
+		s.End()
+	})
+}

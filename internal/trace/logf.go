@@ -1,0 +1,52 @@
+// logf.go is the structured-log funnel: every `event=` state-
+// transition line in the fleet goes through Eventf (no request in
+// flight) or SpanEventf (request-scoped), so the one-line key=value
+// convention — and its trace correlation — lives in one place.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Eventf emits one structured `event=` log line through logf. It is
+// the non-request-scoped form (breaker transitions, replica health
+// edges, WAL poisoning): no span, no correlation ids. A nil logf
+// discards the line.
+func Eventf(logf func(format string, args ...any), format string, args ...any) {
+	if logf == nil {
+		return
+	}
+	logf(format, args...)
+}
+
+// SpanEventf emits one structured `event=` log line correlated with
+// the span carried by ctx: " trace_id=<id> span_id=<id>" is appended
+// to the line, and the line's event= token is recorded as a span
+// event, so the log references the trace and the trace references the
+// log. With no span in ctx it degrades to Eventf.
+func SpanEventf(ctx context.Context, logf func(format string, args ...any), format string, args ...any) {
+	s := FromContext(ctx)
+	if s == nil {
+		Eventf(logf, format, args...)
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	s.AddEvent(eventToken(msg))
+	Eventf(logf, "%s trace_id=%s span_id=%s", msg, s.rec.traceID.String(), s.rec.spanID.String())
+}
+
+// eventToken extracts the value of the line's event= key ("" when the
+// line carries none).
+func eventToken(msg string) string {
+	i := strings.Index(msg, "event=")
+	if i < 0 {
+		return ""
+	}
+	rest := msg[i+len("event="):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}

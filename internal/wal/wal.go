@@ -80,11 +80,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // headerSize is the fixed frame prefix: length (4) + type (1) + crc (4).
@@ -135,6 +137,11 @@ type Options struct {
 	// Logf, when non-nil, receives one-line structured state-transition
 	// logs — currently the log-poisoning event.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records every committed batch as a span
+	// tree: a wal.commit root carrying the log name and frame count,
+	// with wal.append (the write) and wal.flush (the sync) as children.
+	// Nil leaves the append path untraced.
+	Tracer *trace.Tracer
 }
 
 // Stats reports what Open found.
@@ -169,6 +176,10 @@ type Log struct {
 	// transition logger.
 	ins  *instruments
 	logf func(format string, args ...any)
+	// tracer records commit cohort spans (nil ⇒ untraced); base is the
+	// precomputed file basename stamped on those spans.
+	tracer *trace.Tracer
+	base   string
 
 	// Group-commit state. commitMu serializes seal→write→sync so
 	// batches hit the file in staging order; batchMu guards only the
@@ -277,6 +288,8 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 		return nil, nil, fmt.Errorf("wal: seek %s: %w", path, err)
 	}
 	l.logf = opts.Logf
+	l.tracer = opts.Tracer
+	l.base = filepath.Base(path)
 	if opts.Metrics != nil {
 		base := filepath.Base(path)
 		lbl := metrics.Label{Name: "log", Value: base}
@@ -630,19 +643,33 @@ func (l *Log) writeLocked(frames []byte, n int) error {
 	if l.f == nil {
 		return fmt.Errorf("wal: append to closed log %s", l.path)
 	}
+	// One committed batch is one trace: a wal.commit root whose
+	// children time the write and the sync. The exemplar id is taken
+	// now because End scrubs the pooled span.
+	commit := l.tracer.StartRoot("wal.commit")
+	commit.SetAttr("log", l.base)
+	commit.SetAttr("frames", strconv.Itoa(n))
+	commitID := commit.TraceIDString()
 	var start time.Time
 	if l.ins != nil {
 		start = time.Now()
 	}
+	app := commit.StartChild("wal.append")
 	if _, err := l.f.Write(frames); err != nil {
+		app.SetOutcome("error")
+		app.End()
+		commit.SetOutcome("error")
+		commit.End()
 		l.poisonLocked(err)
 		return fmt.Errorf("wal: append to %s: %w", l.path, err)
 	}
+	app.End()
 	if !l.noSync {
 		var syncStart time.Time
 		if l.ins != nil {
 			syncStart = time.Now()
 		}
+		flush := commit.StartChild("wal.flush")
 		var err error
 		if l.group != nil {
 			err = l.group.Sync()
@@ -650,9 +677,14 @@ func (l *Log) writeLocked(frames []byte, n int) error {
 			err = l.f.Sync()
 		}
 		if err != nil {
+			flush.SetOutcome("error")
+			flush.End()
+			commit.SetOutcome("error")
+			commit.End()
 			l.poisonLocked(err)
 			return fmt.Errorf("wal: sync %s: %w", l.path, err)
 		}
+		flush.End()
 		if l.ins != nil {
 			l.ins.syncSec.Observe(time.Since(syncStart).Seconds())
 		}
@@ -660,9 +692,10 @@ func (l *Log) writeLocked(frames []byte, n int) error {
 	l.size += int64(len(frames))
 	l.count += n
 	if l.ins != nil {
-		l.ins.appendSec.Observe(time.Since(start).Seconds())
+		l.ins.appendSec.ObserveExemplar(time.Since(start).Seconds(), commitID)
 		l.ins.batchFrames.Observe(float64(n))
 	}
+	commit.End()
 	return nil
 }
 
@@ -674,9 +707,7 @@ func (l *Log) poisonLocked(err error) {
 	if l.ins != nil {
 		l.ins.poisoned.Set(1)
 	}
-	if l.logf != nil {
-		l.logf("wal: event=log_poisoned log=%s err=%v", filepath.Base(l.path), err)
-	}
+	trace.Eventf(l.logf, "wal: event=log_poisoned log=%s err=%v", filepath.Base(l.path), err)
 }
 
 // appendFrame appends one framed record to dst.
